@@ -1,0 +1,56 @@
+// Command cellbench regenerates the paper's evaluation tables and
+// figures from the simulated Cell/B.E. Run with -scale 1 for the
+// paper's full 3072x3072 workload (slow), or a larger divisor for a
+// quick shape check; the modeled ratios are size-stable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"j2kcell/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|ablate|loop|profile|calib|all")
+	scale := flag.Int("scale", 4, "divide the paper's workload dimensions by this factor")
+	flag.Parse()
+
+	p := harness.DefaultParams(*scale)
+	run := func(tables ...*harness.Table) {
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+	switch strings.ToLower(*exp) {
+	case "table1":
+		run(harness.Table1())
+	case "fig4":
+		run(harness.Fig4(p))
+	case "fig5":
+		run(harness.Fig5(p))
+	case "fig6":
+		run(harness.Fig6(p))
+	case "fig7":
+		run(harness.Fig7(p))
+	case "fig8":
+		run(harness.Fig8(p))
+	case "fig9":
+		run(harness.Fig9(p))
+	case "ablate":
+		run(harness.Ablations(p)...)
+	case "loop":
+		run(harness.AblateLoopParallel(p))
+	case "profile":
+		fmt.Println(harness.Profile(p))
+	case "calib":
+		run(harness.Calibration(p)...)
+	case "all":
+		run(harness.AllExperiments(p)...)
+	default:
+		fmt.Fprintf(os.Stderr, "cellbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,56 @@
+// Command j2kdec decodes a JPEG2000 codestream produced by this
+// library back to a raster image (BMP, or PGM/PPM by extension),
+// verifying the full Tier-2 → Tier-1 → inverse DWT → inverse MCT path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"j2kcell"
+	"j2kcell/internal/bmp"
+	"j2kcell/internal/pnm"
+)
+
+func main() {
+	in := flag.String("in", "", "input .j2c codestream")
+	out := flag.String("out", "out.bmp", "output image (.bmp, .pgm or .ppm)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "j2kdec: need -in file.j2c")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	check(err)
+	img, err := j2kcell.Decode(data)
+	check(err)
+	f, err := os.Create(*out)
+	check(err)
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(*out)) {
+	case ".pgm", ".ppm", ".pnm":
+		check(pnm.Encode(f, img))
+		fmt.Printf("%s: %dx%d decoded to %s\n", *in, img.W, img.H, *out)
+		return
+	}
+	if len(img.Comps) == 1 {
+		// Expand grayscale to RGB for the BMP writer.
+		g := img
+		img = j2kcell.NewImage(g.W, g.H, 3, g.Depth)
+		for c := 0; c < 3; c++ {
+			copy(img.Comps[c].Data, g.Comps[0].Data)
+		}
+	}
+	check(bmp.Encode(f, img))
+	fmt.Printf("%s: %dx%d decoded to %s\n", *in, img.W, img.H, *out)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "j2kdec:", err)
+		os.Exit(1)
+	}
+}

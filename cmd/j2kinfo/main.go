@@ -1,0 +1,66 @@
+// Command j2kinfo dumps the structure of a JPEG2000 codestream
+// produced by this library: header parameters and the per-packet
+// layout, with the byte budgets of each progression prefix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"j2kcell/internal/codec"
+)
+
+func main() {
+	in := flag.String("in", "", "input .j2c codestream")
+	packets := flag.Bool("packets", false, "list every packet")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "j2kinfo: need -in file.j2c")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	check(err)
+	info, err := codec.Inspect(data)
+	check(err)
+
+	h := info.Header
+	mode := "lossy 9/7"
+	if h.Lossless {
+		mode = "lossless 5/3"
+	}
+	prog := "LRCP"
+	if h.Progression == 1 {
+		prog = "RLCP"
+	}
+	fmt.Printf("%s: %dx%d, %d component(s) @ %d bit, %s\n", *in, h.W, h.H, h.NComp, h.Depth, mode)
+	fmt.Printf("  %d DWT levels, %dx%d code blocks, %d layer(s), %s progression, termall=%v\n",
+		h.Levels, h.CBW, h.CBH, h.Layers, prog, h.TermAll)
+	fmt.Printf("  %d packets, %d body bytes, %d total\n\n",
+		len(info.Packets), info.BytesAtResolution(h.Levels), len(data))
+
+	fmt.Println("bytes by resolution prefix (thumbnail cost under RLCP):")
+	for r := 0; r <= h.Levels; r++ {
+		fmt.Printf("  res <= %d: %8d bytes\n", r, info.BytesAtResolution(r))
+	}
+	if h.Layers > 1 {
+		fmt.Println("bytes by layer prefix (quality cost under LRCP):")
+		for l := 1; l <= h.Layers; l++ {
+			fmt.Printf("  layers < %d: %8d bytes\n", l+0, info.BytesAtLayer(l))
+		}
+	}
+	if *packets {
+		fmt.Println("\npackets (layer, resolution, component):")
+		for _, p := range info.Packets {
+			fmt.Printf("  L%d R%d C%d  @%-8d %6d bytes, %3d blocks\n",
+				p.Layer, p.Res, p.Comp, p.Offset, p.Bytes, p.Blocks)
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "j2kinfo:", err)
+		os.Exit(1)
+	}
+}

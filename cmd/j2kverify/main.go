@@ -1,0 +1,172 @@
+// Command j2kverify runs the library's end-to-end conformance matrix
+// on synthetic workloads and prints a pass/fail report: lossless
+// bit-exactness, rate-budget compliance, progression correctness,
+// encoder byte-identity across the sequential, goroutine-parallel and
+// Cell-simulated paths. Intended as a post-install smoke test.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"j2kcell"
+)
+
+type check struct {
+	name string
+	fn   func() error
+}
+
+func main() {
+	img := j2kcell.TestImage(256, 192, 99)
+	raw := img.W * img.H * len(img.Comps)
+
+	checks := []check{
+		{"lossless round trip is bit exact", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true})
+			if err != nil {
+				return err
+			}
+			back, err := j2kcell.Decode(data)
+			if err != nil {
+				return err
+			}
+			if !img.Equal(back) {
+				return fmt.Errorf("reconstruction differs")
+			}
+			return nil
+		}},
+		{"lossy rate 0.1 respects the byte budget", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{Rate: 0.1})
+			if err != nil {
+				return err
+			}
+			if len(data) > raw/10 {
+				return fmt.Errorf("%d bytes > budget %d", len(data), raw/10)
+			}
+			back, err := j2kcell.Decode(data)
+			if err != nil {
+				return err
+			}
+			if p := img.PSNR(back); p < 25 {
+				return fmt.Errorf("PSNR %.1f dB too low", p)
+			}
+			return nil
+		}},
+		{"three encoders emit identical bytes", func() error {
+			opt := j2kcell.Options{Rate: 0.15}
+			a, _, err := j2kcell.Encode(img, opt)
+			if err != nil {
+				return err
+			}
+			b, _, err := j2kcell.EncodeParallel(img, opt, 0)
+			if err != nil {
+				return err
+			}
+			c, err := j2kcell.Simulate(img, j2kcell.DefaultSimConfig(8, opt))
+			if err != nil {
+				return err
+			}
+			if string(a) != string(b) || string(a) != string(c.Data) {
+				return fmt.Errorf("encoder outputs diverge")
+			}
+			return nil
+		}},
+		{"quality layers are progressive", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{LayerRates: []float64{0.03, 0.1, 0.3}})
+			if err != nil {
+				return err
+			}
+			last := 0.0
+			for l := 1; l <= 3; l++ {
+				got, err := j2kcell.DecodeWith(data, j2kcell.DecodeOptions{MaxLayers: l})
+				if err != nil {
+					return err
+				}
+				p := img.PSNR(got)
+				if p < last-0.01 {
+					return fmt.Errorf("PSNR fell at layer %d", l)
+				}
+				last = p
+			}
+			return nil
+		}},
+		{"resolution-progressive decode sizes", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true})
+			if err != nil {
+				return err
+			}
+			got, err := j2kcell.DecodeWith(data, j2kcell.DecodeOptions{DiscardLevels: 2})
+			if err != nil {
+				return err
+			}
+			if got.W != 64 || got.H != 48 {
+				return fmt.Errorf("got %dx%d, want 64x48", got.W, got.H)
+			}
+			return nil
+		}},
+		{"window decode matches full-decode crop", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true})
+			if err != nil {
+				return err
+			}
+			win, err := j2kcell.DecodeWith(data, j2kcell.DecodeOptions{
+				Region: j2kcell.Rect{X0: 60, Y0: 50, W: 70, H: 40}})
+			if err != nil {
+				return err
+			}
+			if !win.Equal(img.SubImage(60, 50, 70, 40)) {
+				return fmt.Errorf("window differs from crop")
+			}
+			return nil
+		}},
+		{"tiled encode round trips", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true, TileW: 96, TileH: 96})
+			if err != nil {
+				return err
+			}
+			back, err := j2kcell.Decode(data)
+			if err != nil {
+				return err
+			}
+			if !img.Equal(back) {
+				return fmt.Errorf("tiled reconstruction differs")
+			}
+			return nil
+		}},
+		{"truncated streams error cleanly", func() error {
+			data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true})
+			if err != nil {
+				return err
+			}
+			for _, n := range []int{0, 2, len(data) / 3, len(data) - 3} {
+				if _, err := j2kcell.Decode(data[:n]); err == nil {
+					return fmt.Errorf("truncation at %d accepted", n)
+				}
+			}
+			return nil
+		}},
+	}
+
+	failed := 0
+	for _, c := range checks {
+		start := time.Now()
+		err := c.fn()
+		status := "ok  "
+		if err != nil {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s  %-45s %8v", status, c.name, time.Since(start).Round(time.Millisecond))
+		if err != nil {
+			fmt.Printf("  (%v)", err)
+		}
+		fmt.Println()
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d checks failed\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d checks passed\n", len(checks))
+}

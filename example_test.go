@@ -1,0 +1,65 @@
+package j2kcell_test
+
+import (
+	"fmt"
+
+	"j2kcell"
+)
+
+// The basic lossless round trip: encode, decode, verify bit-exactness.
+func ExampleEncode() {
+	img := j2kcell.TestImage(64, 64, 1)
+	data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true})
+	if err != nil {
+		panic(err)
+	}
+	back, err := j2kcell.Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bit exact:", img.Equal(back))
+	// Output: bit exact: true
+}
+
+// Rate-controlled lossy encoding: the stream never exceeds the budget.
+func ExampleEncode_rateControl() {
+	img := j2kcell.TestImage(128, 128, 2)
+	raw := img.W * img.H * len(img.Comps)
+	data, _, err := j2kcell.Encode(img, j2kcell.Options{Rate: 0.1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("within budget:", len(data) <= raw/10)
+	// Output: within budget: true
+}
+
+// Window decoding reconstructs a sub-rectangle bit-exactly without
+// entropy-decoding the rest of the image.
+func ExampleDecodeWith() {
+	img := j2kcell.TestImage(128, 128, 3)
+	data, _, err := j2kcell.Encode(img, j2kcell.Options{Lossless: true})
+	if err != nil {
+		panic(err)
+	}
+	win, err := j2kcell.DecodeWith(data, j2kcell.DecodeOptions{
+		Region: j2kcell.Rect{X0: 32, Y0: 48, W: 40, H: 24},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%dx%d window, exact: %v\n", win.W, win.H,
+		win.Equal(img.SubImage(32, 48, 40, 24)))
+	// Output: 40x24 window, exact: true
+}
+
+// Simulate runs the paper's parallel encoder on the modeled Cell/B.E.
+// and reports where the cycles went.
+func ExampleSimulate() {
+	img := j2kcell.TestImage(128, 128, 4)
+	res, err := j2kcell.Simulate(img, j2kcell.DefaultSimConfig(8, j2kcell.Options{Lossless: true}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stages:", len(res.Stages) > 0, "— cycles:", res.Cycles > 0)
+	// Output: stages: true — cycles: true
+}

@@ -1,0 +1,3 @@
+module j2kcell
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package bmp reads and writes uncompressed 24-bit Windows BMP files,
+// the input format of the paper's workload (JasPer transcoding a BMP to
+// JPEG2000).
+package bmp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"j2kcell/internal/imgmodel"
+)
+
+const (
+	fileHeaderSize = 14
+	infoHeaderSize = 40
+)
+
+// Decode reads a 24-bit or 32-bit uncompressed BMP into an RGB image.
+func Decode(r io.Reader) (*imgmodel.Image, error) {
+	var fh [fileHeaderSize]byte
+	if _, err := io.ReadFull(r, fh[:]); err != nil {
+		return nil, fmt.Errorf("bmp: reading file header: %w", err)
+	}
+	if fh[0] != 'B' || fh[1] != 'M' {
+		return nil, fmt.Errorf("bmp: bad magic %q", fh[:2])
+	}
+	dataOff := binary.LittleEndian.Uint32(fh[10:14])
+
+	var ih [infoHeaderSize]byte
+	if _, err := io.ReadFull(r, ih[:]); err != nil {
+		return nil, fmt.Errorf("bmp: reading info header: %w", err)
+	}
+	hdrSize := binary.LittleEndian.Uint32(ih[0:4])
+	if hdrSize < infoHeaderSize {
+		return nil, fmt.Errorf("bmp: unsupported header size %d", hdrSize)
+	}
+	w := int(int32(binary.LittleEndian.Uint32(ih[4:8])))
+	h := int(int32(binary.LittleEndian.Uint32(ih[8:12])))
+	bpp := int(binary.LittleEndian.Uint16(ih[14:16]))
+	comp := binary.LittleEndian.Uint32(ih[16:20])
+	if comp != 0 {
+		return nil, fmt.Errorf("bmp: compression %d unsupported", comp)
+	}
+	if bpp != 24 && bpp != 32 {
+		return nil, fmt.Errorf("bmp: %d bpp unsupported (want 24 or 32)", bpp)
+	}
+	topDown := false
+	if h < 0 {
+		topDown, h = true, -h
+	}
+	if w <= 0 || h == 0 {
+		return nil, fmt.Errorf("bmp: invalid dimensions %dx%d", w, h)
+	}
+	// Skip any gap between headers and pixel data.
+	if skip := int64(dataOff) - int64(fileHeaderSize) - int64(hdrSize); skip > 0 {
+		if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+			return nil, fmt.Errorf("bmp: skipping to pixel data: %w", err)
+		}
+	} else if skip < 0 {
+		return nil, fmt.Errorf("bmp: pixel data offset %d inside headers", dataOff)
+	}
+
+	img := imgmodel.NewImage(w, h, 3, 8)
+	bytesPP := bpp / 8
+	rowBytes := (w*bytesPP + 3) &^ 3
+	row := make([]byte, rowBytes)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(r, row); err != nil {
+			return nil, fmt.Errorf("bmp: reading row %d: %w", y, err)
+		}
+		dy := h - 1 - y
+		if topDown {
+			dy = y
+		}
+		rr := img.Comps[0].Row(dy)
+		gg := img.Comps[1].Row(dy)
+		bb := img.Comps[2].Row(dy)
+		for x := 0; x < w; x++ {
+			o := x * bytesPP
+			bb[x] = int32(row[o])
+			gg[x] = int32(row[o+1])
+			rr[x] = int32(row[o+2])
+		}
+	}
+	return img, nil
+}
+
+// Encode writes img as a bottom-up 24-bit BMP. The image must have 3
+// components of 8-bit depth.
+func Encode(w io.Writer, img *imgmodel.Image) error {
+	if len(img.Comps) != 3 {
+		return fmt.Errorf("bmp: need 3 components, have %d", len(img.Comps))
+	}
+	rowBytes := (img.W*3 + 3) &^ 3
+	pixBytes := rowBytes * img.H
+	total := fileHeaderSize + infoHeaderSize + pixBytes
+
+	var fh [fileHeaderSize]byte
+	fh[0], fh[1] = 'B', 'M'
+	binary.LittleEndian.PutUint32(fh[2:6], uint32(total))
+	binary.LittleEndian.PutUint32(fh[10:14], fileHeaderSize+infoHeaderSize)
+	if _, err := w.Write(fh[:]); err != nil {
+		return err
+	}
+
+	var ih [infoHeaderSize]byte
+	binary.LittleEndian.PutUint32(ih[0:4], infoHeaderSize)
+	binary.LittleEndian.PutUint32(ih[4:8], uint32(img.W))
+	binary.LittleEndian.PutUint32(ih[8:12], uint32(img.H))
+	binary.LittleEndian.PutUint16(ih[12:14], 1)
+	binary.LittleEndian.PutUint16(ih[14:16], 24)
+	binary.LittleEndian.PutUint32(ih[20:24], uint32(pixBytes))
+	if _, err := w.Write(ih[:]); err != nil {
+		return err
+	}
+
+	row := make([]byte, rowBytes)
+	clamp := func(v int32) byte {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return byte(v)
+	}
+	for y := img.H - 1; y >= 0; y-- {
+		rr := img.Comps[0].Row(y)
+		gg := img.Comps[1].Row(y)
+		bb := img.Comps[2].Row(y)
+		for x := 0; x < img.W; x++ {
+			row[x*3] = clamp(bb[x])
+			row[x*3+1] = clamp(gg[x])
+			row[x*3+2] = clamp(rr[x])
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package bmp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	img := workload.Dial(37, 23, 1, 4) // odd width exercises row padding
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("BMP round trip not lossless")
+	}
+}
+
+func TestRowPaddingMultipleOfFour(t *testing.T) {
+	for w := 1; w <= 8; w++ {
+		img := imgmodel.NewImage(w, 2, 3, 8)
+		var buf bytes.Buffer
+		if err := Encode(&buf, img); err != nil {
+			t.Fatal(err)
+		}
+		rowBytes := (w*3 + 3) &^ 3
+		want := 14 + 40 + rowBytes*2
+		if buf.Len() != want {
+			t.Fatalf("w=%d: size %d, want %d", w, buf.Len(), want)
+		}
+		if _, err := Decode(&buf); err != nil {
+			t.Fatalf("w=%d: decode: %v", w, err)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	_, err := Decode(strings.NewReader("XXnotabmpfileatall_____________"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	img := workload.Gradient(10, 10)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{0, 5, 14, 30, 54, len(data) - 7} {
+		if _, err := Decode(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsCompressed(t *testing.T) {
+	img := workload.Gradient(4, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[30] = 1 // BI_RLE8
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("compressed BMP accepted")
+	}
+}
+
+func TestEncodeClampsOutOfRange(t *testing.T) {
+	img := imgmodel.NewImage(2, 1, 3, 8)
+	img.Comps[0].Set(0, 0, -50)
+	img.Comps[0].Set(0, 1, 999)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Comps[0].At(0, 0) != 0 || got.Comps[0].At(0, 1) != 255 {
+		t.Fatalf("clamping failed: %d %d", got.Comps[0].At(0, 0), got.Comps[0].At(0, 1))
+	}
+}
+
+func TestEncodeRejectsNonRGB(t *testing.T) {
+	img := imgmodel.NewImage(2, 2, 1, 8)
+	if err := Encode(&bytes.Buffer{}, img); err == nil {
+		t.Fatal("1-component image accepted")
+	}
+}
+
+func TestDecodeTopDownBMP(t *testing.T) {
+	img := workload.Gradient(6, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip the height field to negative (top-down) and reverse rows.
+	h := int32(-4)
+	data[22] = byte(h)
+	data[23] = byte(h >> 8)
+	data[24] = byte(h >> 16)
+	data[25] = byte(h >> 24)
+	rowBytes := (6*3 + 3) &^ 3
+	pix := data[54:]
+	for i := 0; i < 2; i++ {
+		a := pix[i*rowBytes : (i+1)*rowBytes]
+		b := pix[(3-i)*rowBytes : (4-i)*rowBytes]
+		for j := range a {
+			a[j], b[j] = b[j], a[j]
+		}
+	}
+	got, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("top-down BMP decoded incorrectly")
+	}
+}
+
+func TestDecodeWithPixelDataGap(t *testing.T) {
+	img := workload.Gradient(3, 2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Insert an 8-byte gap between headers and pixels, fixing the offset.
+	withGap := append(append([]byte(nil), data[:54]...), make([]byte, 8)...)
+	withGap = append(withGap, data[54:]...)
+	withGap[10] = 54 + 8
+	got, err := Decode(bytes.NewReader(withGap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("gap-skipping decode failed")
+	}
+}
+
+func TestDecodeRejectsOffsetInsideHeaders(t *testing.T) {
+	img := workload.Gradient(3, 2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[10] = 10 // pixel offset inside the headers
+	if _, err := Decode(bytes.NewReader(data)); err == nil {
+		t.Fatal("bogus pixel offset accepted")
+	}
+}

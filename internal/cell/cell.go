@@ -1,0 +1,294 @@
+// Package cell models the Sony–Toshiba–IBM Cell Broadband Engine in
+// virtual time on top of the sim engine.
+//
+// The model captures the architectural properties the paper's
+// optimizations depend on:
+//
+//   - one PPE and eight SPEs per chip at 3.2 GHz (an IBM QS20 blade has
+//     two chips: 16 SPEs, 2 PPE threads usable for Tier-1);
+//   - each SPE owns a 256 KB Local Store; all main-memory traffic goes
+//     through explicit MFC DMA commands with strict alignment and size
+//     rules and a 16-entry command queue;
+//   - off-chip XDR memory bandwidth of 25.6 GB/s per chip (8 bytes per
+//     cycle at 3.2 GHz), shared by all processing elements — the
+//     resource the paper's loop interleaving exists to conserve;
+//   - DMA transfers are most efficient when cache-line (128 B) aligned
+//     with a size that is a multiple of the line: memory always moves
+//     whole lines, so a misaligned transfer pays for the extra lines it
+//     straddles.
+//
+// Computation executes as ordinary Go code for bit-exact results, while
+// the time it would have taken on the SPE or PPE is charged through the
+// cost model (costmodel.go).
+package cell
+
+import (
+	"fmt"
+
+	"j2kcell/internal/sim"
+)
+
+// Architectural constants of the Cell/B.E.
+const (
+	CacheLine   = 128       // bytes; PPE cache line and optimal DMA granule
+	LSSize      = 256 << 10 // bytes of SPE Local Store
+	MFCQueueLen = 16        // outstanding DMA commands per SPE
+	MaxDMABytes = 16 << 10  // largest single MFC transfer
+	ClockHz     = 3.2e9     // chip clock
+	ChipMemBW   = 25.6e9    // bytes/s of XDR memory per chip
+	BytesPerCyc = ChipMemBW / ClockHz
+	SPEsPerChip = 8
+	PPEsPerChip = 1
+)
+
+// Config selects the machine being simulated.
+type Config struct {
+	Chips      int // 1 = single Cell/B.E., 2 = IBM QS20 blade
+	SPEs       int // SPE threads in use (<= 8*Chips)
+	PPEThreads int // PPE threads participating in compute (<= Chips)
+
+	// DMALatency is the cycles between a DMA leaving the memory
+	// interface and its completion being visible to the SPE (command
+	// issue to coherence). ~300 cycles is representative for main
+	// memory on the Cell (Kistler et al., IEEE Micro 2006).
+	DMALatency sim.Time
+	// DMAIssue is the SPE-side cost of writing the MFC command
+	// registers and tag bookkeeping for one command.
+	DMAIssue sim.Time
+	// NUMA models each chip's XDR memory as a separate resource with
+	// cache lines interleaved across chips; accesses to the remote
+	// chip's memory cross the inter-chip BIF link and pay RemoteExtra
+	// additional latency. Off (the default) aggregates bandwidth, the
+	// approximation used for the paper's figures.
+	NUMA bool
+	// RemoteExtra is the added latency for a remote-chip line (cycles).
+	RemoteExtra sim.Time
+}
+
+// DefaultConfig returns a single-chip machine with n SPEs and one PPE.
+func DefaultConfig(nSPE int) Config {
+	chips := 1
+	if nSPE > SPEsPerChip {
+		chips = (nSPE + SPEsPerChip - 1) / SPEsPerChip
+	}
+	return Config{
+		Chips:      chips,
+		SPEs:       nSPE,
+		PPEThreads: 1,
+		DMALatency: 300,
+		DMAIssue:   16,
+	}
+}
+
+// QS20Config returns the dual-chip blade used in the paper's Section 5.
+func QS20Config(nSPE, nPPE int) Config {
+	c := DefaultConfig(nSPE)
+	c.Chips = 2
+	c.PPEThreads = nPPE
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Chips < 1 || c.Chips > 4 {
+		return fmt.Errorf("cell: %d chips unsupported", c.Chips)
+	}
+	if c.SPEs < 0 || c.SPEs > c.Chips*SPEsPerChip {
+		return fmt.Errorf("cell: %d SPEs exceed %d chips", c.SPEs, c.Chips)
+	}
+	if c.PPEThreads < 0 || c.PPEThreads > c.Chips*2 {
+		return fmt.Errorf("cell: %d PPE threads exceed %d chips", c.PPEThreads, c.Chips)
+	}
+	return nil
+}
+
+// Machine is one simulated Cell system: engine, memory, PPE and SPEs.
+type Machine struct {
+	Cfg  Config
+	Eng  *sim.Engine
+	Mem  *sim.Resource   // aggregated off-chip memory interface (non-NUMA)
+	Mems []*sim.Resource // per-chip memories (NUMA mode)
+	SPEs []*SPE
+	PPEs []*PPE
+
+	// Trace, when non-nil, records per-PE busy spans for timeline
+	// rendering. Attach before Run.
+	Trace *Trace
+
+	eaBrk int64 // main-memory effective-address bump allocator
+}
+
+// NewMachine builds a machine for cfg with a fresh simulation engine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		Cfg: cfg,
+		Eng: sim.NewEngine(),
+		Mem: &sim.Resource{
+			Name:          "xdr",
+			BytesPerCycle: BytesPerCyc * float64(cfg.Chips),
+			Latency:       cfg.DMALatency,
+		},
+		eaBrk: 0x10000, // leave low addresses unused, like a real process
+	}
+	if cfg.NUMA {
+		if cfg.RemoteExtra == 0 {
+			cfg.RemoteExtra = 100 // BIF hop + remote controller queueing
+			m.Cfg = cfg
+		}
+		for i := 0; i < cfg.Chips; i++ {
+			m.Mems = append(m.Mems, &sim.Resource{
+				Name:          fmt.Sprintf("xdr%d", i),
+				BytesPerCycle: BytesPerCyc,
+				Latency:       cfg.DMALatency,
+			})
+		}
+	}
+	for i := 0; i < cfg.SPEs; i++ {
+		m.SPEs = append(m.SPEs, &SPE{ID: i, M: m, LS: NewLocalStore()})
+	}
+	for i := 0; i < cfg.PPEThreads; i++ {
+		m.PPEs = append(m.PPEs, &PPE{ID: i, M: m})
+	}
+	return m, nil
+}
+
+// MustMachine is NewMachine for known-good configs (tests, benchmarks).
+func MustMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AllocEA reserves bytes of main-memory address space aligned to align
+// and returns the effective address. The simulator only tracks
+// addresses; backing storage lives in ordinary Go slices.
+func (m *Machine) AllocEA(bytes int64, align int64) int64 {
+	if align <= 0 {
+		align = 1
+	}
+	ea := (m.eaBrk + align - 1) &^ (align - 1)
+	m.eaBrk = ea + bytes
+	return ea
+}
+
+// Run executes the simulation to completion and returns the final time.
+func (m *Machine) Run() sim.Time { return m.Eng.Run() }
+
+// Seconds converts a virtual cycle count to wall seconds at chip clock.
+func Seconds(t sim.Time) float64 { return float64(t) / ClockHz }
+
+// PPE is one PowerPC Processing Element thread. The PPE accesses main
+// memory through its cache hierarchy: the model charges compute cycles
+// directly and streams the kernel's memory footprint through the shared
+// memory interface without per-access blocking (hardware prefetch).
+type PPE struct {
+	ID int
+	M  *Machine
+
+	ComputeCycles sim.Time // accounting
+	BytesTouched  int64
+}
+
+// Compute charges c cycles of PPE execution time.
+func (pe *PPE) Compute(p *sim.Proc, c sim.Time) {
+	pe.ComputeCycles += c
+	pe.M.Trace.add(fmt.Sprintf("ppe%d", pe.ID), p.Now(), p.Now()+c)
+	p.Delay(c)
+}
+
+// Touch accounts for the PPE kernel streaming n bytes through the
+// memory interface. The traffic occupies bandwidth (contending with SPE
+// DMA) but the PPE does not stall on it: with hardware prefetch the
+// model folds average miss latency into the kernels' per-element costs.
+func (pe *PPE) Touch(p *sim.Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	pe.BytesTouched += n
+	lines := (n + CacheLine - 1) / CacheLine
+	if pe.M.Mems != nil {
+		// NUMA: line-interleaved pages spread a streaming walk evenly.
+		per := lines * CacheLine / int64(len(pe.M.Mems))
+		for _, r := range pe.M.Mems {
+			p.TransferAsync(r, per)
+		}
+		return
+	}
+	p.TransferAsync(pe.M.Mem, lines*CacheLine)
+}
+
+// LocalStore tracks allocation of the 256 KB SPE Local Store. Buffers
+// are handed out by a 16-byte-aligned bump allocator; exceeding the
+// capacity is a hard error, exactly as running out of Local Store is on
+// hardware. Backing data lives in Go slices of 4-byte words, matching
+// the codec's data types after the initial conversion stage.
+type LocalStore struct {
+	used     int
+	highUsed int
+}
+
+// NewLocalStore returns an empty Local Store.
+func NewLocalStore() *LocalStore { return &LocalStore{} }
+
+// alloc reserves n bytes, 16-byte aligned, and returns the LS address.
+func (ls *LocalStore) alloc(n int) int64 {
+	off := (ls.used + 15) &^ 15
+	if off+n > LSSize {
+		panic(fmt.Sprintf("cell: Local Store overflow: %d used, %d requested (capacity %d)", off, n, LSSize))
+	}
+	ls.used = off + n
+	if ls.used > ls.highUsed {
+		ls.highUsed = ls.used
+	}
+	return int64(off)
+}
+
+// AllocI32 reserves an n-word int32 buffer and returns it with its LSA.
+func (ls *LocalStore) AllocI32(n int) ([]int32, int64) {
+	lsa := ls.alloc(4 * n)
+	return make([]int32, n), lsa
+}
+
+// AllocF32 reserves an n-word float32 buffer and returns it with its LSA.
+func (ls *LocalStore) AllocF32(n int) ([]float32, int64) {
+	lsa := ls.alloc(4 * n)
+	return make([]float32, n), lsa
+}
+
+// Used reports the bytes currently allocated.
+func (ls *LocalStore) Used() int { return ls.used }
+
+// HighWater reports the maximum bytes ever allocated.
+func (ls *LocalStore) HighWater() int { return ls.highUsed }
+
+// Reset frees all buffers (stage boundaries re-partition the LS).
+func (ls *LocalStore) Reset() { ls.used = 0 }
+
+// SPE is one Synergistic Processing Element with its Local Store and
+// Memory Flow Controller command queue.
+type SPE struct {
+	ID int
+	M  *Machine
+	LS *LocalStore
+
+	pending []*sim.Completion // outstanding MFC commands, oldest first
+
+	ComputeCycles sim.Time
+	DMABytes      int64 // payload bytes requested
+	DMALineBytes  int64 // bytes actually moved (whole cache lines)
+	DMACmds       int64
+}
+
+// Chip returns the chip index this SPE belongs to.
+func (s *SPE) Chip() int { return s.ID / SPEsPerChip }
+
+// Compute charges c cycles of SPE execution time.
+func (s *SPE) Compute(p *sim.Proc, c sim.Time) {
+	s.ComputeCycles += c
+	s.M.Trace.add(fmt.Sprintf("spe%d", s.ID), p.Now(), p.Now()+c)
+	p.Delay(c)
+}

@@ -1,0 +1,512 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"j2kcell/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{DefaultConfig(1), true},
+		{DefaultConfig(8), true},
+		{DefaultConfig(16), true}, // auto-promotes to 2 chips
+		{QS20Config(16, 2), true},
+		{Config{Chips: 1, SPEs: 9, PPEThreads: 1}, false},
+		{Config{Chips: 0, SPEs: 1}, false},
+		{Config{Chips: 1, SPEs: 1, PPEThreads: 5}, false},
+		{Config{Chips: 1, SPEs: -1}, false},
+	}
+	for _, c := range cases {
+		_, err := NewMachine(c.cfg)
+		if (err == nil) != c.ok {
+			t.Errorf("cfg %+v: err=%v, want ok=%v", c.cfg, err, c.ok)
+		}
+	}
+}
+
+func TestMachineTopology(t *testing.T) {
+	m := MustMachine(QS20Config(16, 2))
+	if len(m.SPEs) != 16 || len(m.PPEs) != 2 {
+		t.Fatalf("got %d SPEs, %d PPEs", len(m.SPEs), len(m.PPEs))
+	}
+	if m.Mem.BytesPerCycle != 16 { // 2 chips × 8 B/cycle
+		t.Fatalf("QS20 bandwidth %v B/cycle, want 16", m.Mem.BytesPerCycle)
+	}
+}
+
+func TestAllocEAAlignment(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	a := m.AllocEA(100, 128)
+	b := m.AllocEA(100, 128)
+	if a%128 != 0 || b%128 != 0 {
+		t.Fatalf("EAs not 128-aligned: %#x %#x", a, b)
+	}
+	if b < a+100 {
+		t.Fatalf("overlapping allocations: %#x then %#x", a, b)
+	}
+}
+
+func TestLocalStoreBudget(t *testing.T) {
+	ls := NewLocalStore()
+	buf, lsa := ls.AllocI32(1024)
+	if len(buf) != 1024 || lsa%16 != 0 {
+		t.Fatalf("alloc: len=%d lsa=%d", len(buf), lsa)
+	}
+	_, lsa2 := ls.AllocF32(8)
+	if lsa2 < lsa+4096 || lsa2%16 != 0 {
+		t.Fatalf("second alloc overlaps or misaligned: %d", lsa2)
+	}
+	if ls.Used() == 0 || ls.HighWater() < ls.Used() {
+		t.Fatal("accounting broken")
+	}
+	ls.Reset()
+	if ls.Used() != 0 {
+		t.Fatal("Reset did not free")
+	}
+	if ls.HighWater() == 0 {
+		t.Fatal("Reset cleared high-water mark")
+	}
+}
+
+func TestLocalStoreOverflowPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "Local Store overflow") {
+			t.Errorf("want overflow panic, got %v", r)
+		}
+	}()
+	ls := NewLocalStore()
+	ls.AllocI32(LSSize / 4) // fills it exactly
+	ls.AllocI32(1)
+}
+
+func TestCheckAlignRules(t *testing.T) {
+	cases := []struct {
+		ea, lsa, n int64
+		ok         bool
+	}{
+		{0, 0, 0, true},
+		{3, 3, 1, true},
+		{2, 2, 2, true},
+		{2, 4, 2, true},
+		{3, 2, 2, false}, // ea misaligned for 2-byte
+		{4, 4, 4, true},
+		{4, 2, 4, false}, // lsa misaligned
+		{8, 8, 8, true},
+		{16, 16, 16, true},
+		{16, 16, 48, true},
+		{16, 16, 12, false}, // not 1/2/4/8 nor multiple of 16
+		{8, 16, 16, false},  // ea not 16-aligned
+		{16, 8, 32, false},  // lsa not 16-aligned
+		{0, 0, MaxDMABytes, true},
+		{0, 0, MaxDMABytes + 16, false}, // over MFC limit
+	}
+	for _, c := range cases {
+		err := checkAlign(c.ea, c.lsa, c.n)
+		if (err == nil) != c.ok {
+			t.Errorf("checkAlign(%d,%d,%d) err=%v, want ok=%v", c.ea, c.lsa, c.n, err, c.ok)
+		}
+	}
+}
+
+func TestLinesSpanned(t *testing.T) {
+	cases := []struct {
+		ea, n, want int64
+	}{
+		{0, 128, 1},
+		{0, 129, 2},
+		{64, 128, 2}, // straddles a line boundary
+		{0, 0, 0},
+		{128, 256, 2},
+		{127, 2, 2},
+	}
+	for _, c := range cases {
+		if got := linesSpanned(c.ea, c.n); got != c.want {
+			t.Errorf("linesSpanned(%d,%d)=%d, want %d", c.ea, c.n, got, c.want)
+		}
+	}
+}
+
+// An aligned get must move exactly its payload; a 64-byte-offset get of
+// the same size must move one extra line. This is the quantitative core
+// of the paper's data decomposition argument.
+func TestAlignedDMAMovesFewerLines(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	spe := m.SPEs[0]
+	src := make([]int32, 64) // 256 bytes
+	dst, lsa := spe.LS.AllocI32(64)
+	ea := m.AllocEA(4*64+128, 128)
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		Get(p, spe, dst, lsa, src, ea)    // aligned: 2 lines
+		Get(p, spe, dst, lsa, src, ea+64) // misaligned: 3 lines
+	})
+	m.Run()
+	if spe.DMALineBytes != 2*128+3*128 {
+		t.Fatalf("line bytes %d, want %d", spe.DMALineBytes, 5*128)
+	}
+	if spe.DMABytes != 512 {
+		t.Fatalf("payload bytes %d, want 512", spe.DMABytes)
+	}
+}
+
+func TestGetDeliversDataAtCompletion(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	spe := m.SPEs[0]
+	src := make([]int32, 32)
+	for i := range src {
+		src[i] = int32(i * 3)
+	}
+	dst, lsa := spe.LS.AllocI32(32)
+	ea := m.AllocEA(128, 128)
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		c := GetAsync(p, spe, dst, lsa, src, ea)
+		if dst[5] != 0 {
+			t.Error("data visible before DMA completion")
+		}
+		p.WaitFor(c)
+		for i := range src {
+			if dst[i] != src[i] {
+				t.Fatalf("dst[%d]=%d, want %d", i, dst[i], src[i])
+			}
+		}
+	})
+	m.Run()
+}
+
+func TestPutWritesBack(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	spe := m.SPEs[0]
+	dstMain := make([]float32, 32)
+	src, lsa := spe.LS.AllocF32(32)
+	for i := range src {
+		src[i] = float32(i) * 0.5
+	}
+	ea := m.AllocEA(128, 128)
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		Put(p, spe, dstMain, ea, src, lsa)
+	})
+	m.Run()
+	for i := range src {
+		if dstMain[i] != src[i] {
+			t.Fatalf("dstMain[%d]=%v, want %v", i, dstMain[i], src[i])
+		}
+	}
+}
+
+func TestLargeDMASplitsIntoMFCCommands(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	spe := m.SPEs[0]
+	n := (MaxDMABytes/4)*2 + 1024/4 // 2 full commands + 1 KB remainder
+	src := make([]int32, n)
+	for i := range src {
+		src[i] = int32(i)
+	}
+	dst, lsa := spe.LS.AllocI32(n)
+	ea := m.AllocEA(int64(4*n), 128)
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		Get(p, spe, dst, lsa, src, ea)
+	})
+	m.Run()
+	if spe.DMACmds != 3 {
+		t.Fatalf("DMA commands %d, want 3", spe.DMACmds)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("split transfer corrupted data at %d", i)
+		}
+	}
+}
+
+func TestMFCQueueDepthEnforced(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	spe := m.SPEs[0]
+	src := make([]int32, 32)
+	dst, lsa := spe.LS.AllocI32(32)
+	ea := m.AllocEA(128, 128)
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		for i := 0; i < MFCQueueLen+4; i++ {
+			GetAsync(p, spe, dst, lsa, src, ea)
+		}
+		if len(spe.pending) > MFCQueueLen {
+			t.Errorf("pending %d commands, queue depth is %d", len(spe.pending), MFCQueueLen)
+		}
+		spe.WaitAll(p)
+		if len(spe.pending) != 0 {
+			t.Error("WaitAll left pending commands")
+		}
+	})
+	m.Run()
+}
+
+func TestMisalignedDMAPanics(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	spe := m.SPEs[0]
+	src := make([]int32, 3) // 12 bytes: invalid size
+	dst, lsa := spe.LS.AllocI32(3)
+	ea := m.AllocEA(128, 128)
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("12-byte DMA did not panic")
+			}
+		}()
+		Get(p, spe, dst, lsa, src, ea)
+	})
+	m.Run()
+}
+
+func TestDoubleBufferingOverlapsDMAWithCompute(t *testing.T) {
+	// With double buffering, total time for k (get, compute, put) units
+	// must be < serial sum when compute ≈ transfer time.
+	run := func(buffered bool) sim.Time {
+		m := MustMachine(DefaultConfig(1))
+		spe := m.SPEs[0]
+		const rows, width = 32, 256
+		src := make([]int32, rows*width)
+		dstM := make([]int32, rows*width)
+		ea := m.AllocEA(4*rows*width, 128)
+		ea2 := m.AllocEA(4*rows*width, 128)
+		m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+			if !buffered {
+				buf, lsa := spe.LS.AllocI32(width)
+				for r := 0; r < rows; r++ {
+					Get(p, spe, buf, lsa, src[r*width:(r+1)*width], ea+int64(4*r*width))
+					spe.Compute(p, 128) // roughly the transfer's busy time
+					Put(p, spe, dstM[r*width:(r+1)*width], ea2+int64(4*r*width), buf, lsa)
+				}
+				return
+			}
+			var bufs [2][]int32
+			var lsas [2]int64
+			bufs[0], lsas[0] = spe.LS.AllocI32(width)
+			bufs[1], lsas[1] = spe.LS.AllocI32(width)
+			var gets [2]*sim.Completion
+			var puts [2]*sim.Completion
+			gets[0] = GetAsync(p, spe, bufs[0], lsas[0], src[:width], ea)
+			for r := 0; r < rows; r++ {
+				b := r % 2
+				if r+1 < rows {
+					nb := (r + 1) % 2
+					if puts[nb] != nil {
+						p.WaitFor(puts[nb])
+					}
+					gets[nb] = GetAsync(p, spe, bufs[nb], lsas[nb], src[(r+1)*width:(r+2)*width], ea+int64(4*(r+1)*width))
+				}
+				p.WaitFor(gets[b])
+				spe.Compute(p, 128)
+				puts[b] = PutAsync(p, spe, dstM[r*width:(r+1)*width], ea2+int64(4*r*width), bufs[b], lsas[b])
+			}
+			spe.WaitAll(p)
+		})
+		return m.Run()
+	}
+	serial, buffered := run(false), run(true)
+	if buffered >= serial {
+		t.Fatalf("double buffering did not help: serial=%d buffered=%d", serial, buffered)
+	}
+	if float64(buffered) > 0.8*float64(serial) {
+		t.Fatalf("double buffering hid too little latency: serial=%d buffered=%d", serial, buffered)
+	}
+}
+
+// Property: DMA line bytes always >= payload bytes, and equal when the
+// transfer is line-aligned with line-multiple size.
+func TestPropLineAccounting(t *testing.T) {
+	f := func(words16 uint8, lineOff uint8) bool {
+		n := (int(words16)%64 + 1) * 4 // multiple of 4 words = 16 bytes
+		off := int64(lineOff%2) * 64   // 0 or 64: aligned or straddling
+		m := MustMachine(DefaultConfig(1))
+		spe := m.SPEs[0]
+		src := make([]int32, n)
+		dst, lsa := spe.LS.AllocI32(n)
+		ea := m.AllocEA(int64(4*n)+256, 128) + off
+		m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+			Get(p, spe, dst, lsa, src, ea)
+		})
+		m.Run()
+		if spe.DMALineBytes < spe.DMABytes {
+			return false
+		}
+		if off == 0 && n*4%128 == 0 && spe.DMALineBytes != spe.DMABytes {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Constants(t *testing.T) {
+	// The quantitative claim of Section 4: fixed-point 32-bit multiply
+	// emulation is slower than single-precision float multiply.
+	if LatMpyh != 7 || LatMpyu != 7 || LatA != 2 || LatFm != 6 {
+		t.Fatal("Table 1 latencies changed")
+	}
+	if FixedMul32Latency <= FloatMul32Latency {
+		t.Fatal("fixed-point multiply should be slower than float on the SPE")
+	}
+	if SPECosts.DWT97Fix <= SPECosts.DWT97 {
+		t.Fatal("fixed-point 9/7 kernel must cost more than float on the SPE")
+	}
+}
+
+func TestCostModelRelationships(t *testing.T) {
+	// Structural relationships the paper reports (Section 5.1):
+	if PPECosts.T1Visit >= SPECosts.T1Visit {
+		t.Error("Tier-1 must be faster on the PPE than on one SPE")
+	}
+	if PPECosts.DWT53 < 4*SPECosts.DWT53 || PPECosts.DWT97 < 4*SPECosts.DWT97 {
+		t.Error("one SPE must beat the PPE 'by far' on the DWT")
+	}
+	if SPECosts.RCPass != 0 {
+		t.Error("rate control is sequential on the PPE in our scheme")
+	}
+}
+
+func TestPPETouchContendsForBandwidth(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	ppe := m.PPEs[0]
+	m.Eng.Spawn("ppe", 0, func(p *sim.Proc) {
+		ppe.Touch(p, 1<<20)
+		ppe.Compute(p, 10)
+		ppe.Touch(p, 0) // no-op
+	})
+	m.Run()
+	if m.Mem.TotalBytes != 1<<20 {
+		t.Fatalf("memory traffic %d, want %d", m.Mem.TotalBytes, 1<<20)
+	}
+	if ppe.BytesTouched != 1<<20 || ppe.ComputeCycles != 10 {
+		t.Fatal("PPE accounting broken")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if s := Seconds(sim.Time(ClockHz)); s != 1.0 {
+		t.Fatalf("Seconds(1s of cycles)=%v", s)
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	m := MustMachine(DefaultConfig(1))
+	m.Trace = NewTrace()
+	m.Trace.SetPhase("alpha")
+	spe := m.SPEs[0]
+	ppe := m.PPEs[0]
+	m.Eng.Spawn("spe", 0, func(p *sim.Proc) {
+		spe.Compute(p, 100)
+		spe.Compute(p, 50) // contiguous, same phase: merges
+		p.Delay(10)
+		m.Trace.SetPhase("beta")
+		spe.Compute(p, 25)
+	})
+	m.Eng.Spawn("ppe", 0, func(p *sim.Proc) {
+		p.Delay(200)
+		ppe.Compute(p, 30)
+	})
+	m.Run()
+	if len(m.Trace.Spans) != 3 {
+		t.Fatalf("spans: %+v", m.Trace.Spans)
+	}
+	s0 := m.Trace.Spans[0]
+	if s0.PE != "spe0" || s0.Phase != "alpha" || s0.Start != 0 || s0.End != 150 {
+		t.Fatalf("merged span: %+v", s0)
+	}
+	if got := m.Trace.BusyInWindow("spe0", 0, 1000); got != 175 {
+		t.Fatalf("busy %d, want 175", got)
+	}
+	if got := m.Trace.BusyInWindow("spe0", 100, 160); got != 50 {
+		t.Fatalf("windowed busy %d, want 50", got)
+	}
+	if got := m.Trace.BusyInWindow("ppe0", 0, 1000); got != 30 {
+		t.Fatalf("ppe busy %d", got)
+	}
+}
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.SetPhase("x") // must not panic
+	tr.add("spe0", 0, 10)
+}
+
+func TestNUMARouting(t *testing.T) {
+	cfg := QS20Config(16, 2)
+	cfg.NUMA = true
+	m := MustMachine(cfg)
+	if len(m.Mems) != 2 {
+		t.Fatalf("NUMA memories: %d", len(m.Mems))
+	}
+	if m.Cfg.RemoteExtra == 0 {
+		t.Fatal("RemoteExtra not defaulted")
+	}
+	spe0 := m.SPEs[0] // chip 0
+	spe8 := m.SPEs[8] // chip 1
+	if spe0.Chip() != 0 || spe8.Chip() != 1 {
+		t.Fatalf("chips: %d %d", spe0.Chip(), spe8.Chip())
+	}
+	src := make([]int32, 32) // one line
+	d0, l0 := spe0.LS.AllocI32(32)
+	d8, l8 := spe8.LS.AllocI32(32)
+	ea := m.AllocEA(256, 256) // line 0 of some even line index: home chip = (ea/128)%2
+	home := int((ea / 128) % 2)
+	var t0, t8 sim.Time
+	m.Eng.Spawn("a", 0, func(p *sim.Proc) {
+		c := cell0Get(p, spe0, d0, l0, src, ea)
+		p.WaitFor(c)
+		t0 = p.Now()
+	})
+	m.Eng.Spawn("b", 0, func(p *sim.Proc) {
+		c := cell0Get(p, spe8, d8, l8, src, ea)
+		p.WaitFor(c)
+		t8 = p.Now()
+	})
+	m.Run()
+	local, remote := t0, t8
+	if home == 1 {
+		local, remote = t8, t0
+	}
+	if remote <= local {
+		t.Fatalf("remote access (%d) should be slower than local (%d)", remote, local)
+	}
+	if m.Mems[home].TotalBytes == 0 {
+		t.Fatal("home memory saw no traffic")
+	}
+	if m.Mems[1-home].TotalBytes != 0 {
+		t.Fatal("other memory saw traffic for a single line")
+	}
+}
+
+// cell0Get avoids generic instantiation noise in the test body.
+func cell0Get(p *sim.Proc, s *SPE, dst []int32, lsa int64, src []int32, ea int64) *sim.Completion {
+	return GetAsync(p, s, dst, lsa, src, ea)
+}
+
+func TestNUMAEncodeStillByteIdentical(t *testing.T) {
+	// Handled at core level; here just check the machine builds and a
+	// simple streamed transfer conserves bytes across both memories.
+	cfg := QS20Config(16, 1)
+	cfg.NUMA = true
+	m := MustMachine(cfg)
+	spe := m.SPEs[3]
+	n := 256 // words: 1 KB; the command is served by its first line's home chip
+	src := make([]int32, n)
+	dst, lsa := spe.LS.AllocI32(n)
+	ea := m.AllocEA(int64(4*n), 128)
+	m.Eng.Spawn("p", 0, func(p *sim.Proc) {
+		Get(p, spe, dst, lsa, src, ea)
+	})
+	m.Run()
+	var tot int64
+	for _, r := range m.Mems {
+		tot += r.TotalBytes
+	}
+	if tot != int64(4*n) {
+		t.Fatalf("NUMA memories moved %d bytes, want %d", tot, 4*n)
+	}
+}

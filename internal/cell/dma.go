@@ -1,0 +1,190 @@
+package cell
+
+import (
+	"fmt"
+
+	"j2kcell/internal/sim"
+)
+
+// Word is the set of 4-byte element types the codec stores in main
+// memory and Local Store after the initial conversion stage.
+type Word interface {
+	~int32 | ~uint32 | ~float32
+}
+
+// AllocLS reserves an n-word buffer of any 4-byte word type in the
+// Local Store and returns it with its LS address (generic counterpart
+// of LocalStore.AllocI32/AllocF32).
+func AllocLS[T Word](ls *LocalStore, n int) ([]T, int64) {
+	lsa := ls.alloc(4 * n)
+	return make([]T, n), lsa
+}
+
+// checkAlign enforces the MFC transfer rules described in the paper's
+// Section 2: 1, 2, 4 and 8-byte transfers require natural alignment of
+// both the effective address and the Local Store address; anything
+// larger must be a multiple of 16 bytes with 16-byte-aligned addresses;
+// and one command moves at most 16 KB.
+func checkAlign(ea, lsa int64, bytes int64) error {
+	switch bytes {
+	case 0:
+		return nil
+	case 1, 2, 4, 8:
+		if ea%bytes != 0 || lsa%bytes != 0 {
+			return fmt.Errorf("cell: %d-byte DMA requires %d-byte alignment (ea=%#x lsa=%#x)", bytes, bytes, ea, lsa)
+		}
+		return nil
+	default:
+		if bytes%16 != 0 {
+			return fmt.Errorf("cell: DMA size %d is not 1/2/4/8 or a multiple of 16", bytes)
+		}
+		if ea%16 != 0 || lsa%16 != 0 {
+			return fmt.Errorf("cell: DMA of %d bytes requires 16-byte alignment (ea=%#x lsa=%#x)", bytes, ea, lsa)
+		}
+		if bytes > MaxDMABytes {
+			return fmt.Errorf("cell: DMA size %d exceeds the %d-byte MFC limit", bytes, MaxDMABytes)
+		}
+		return nil
+	}
+}
+
+// linesSpanned counts the 128-byte cache lines a transfer touches in
+// main memory. Memory moves whole lines, so a transfer that is not
+// line-aligned or not a line multiple pays for the lines it straddles —
+// this is the mechanism that makes the paper's decomposition scheme
+// "most efficient" and the Muta tile overlap wasteful.
+func linesSpanned(ea, bytes int64) int64 {
+	if bytes == 0 {
+		return 0
+	}
+	first := ea / CacheLine
+	last := (ea + bytes - 1) / CacheLine
+	return last - first + 1
+}
+
+// issue reserves an MFC queue slot, blocking on the oldest outstanding
+// command when all 16 are in flight, then charges the issue cost.
+func (s *SPE) issue(p *sim.Proc) {
+	// Drop completed commands from the head.
+	for len(s.pending) > 0 && s.pending[0].Done() {
+		s.pending = s.pending[1:]
+	}
+	if len(s.pending) >= MFCQueueLen {
+		p.WaitFor(s.pending[0])
+		s.pending = s.pending[1:]
+	}
+	s.Compute(p, s.M.Cfg.DMAIssue)
+}
+
+// dma schedules one validated MFC command of `bytes` payload at ea/lsa
+// and returns its completion. deliver (may be nil) runs at completion —
+// Get uses it to copy data into the Local Store buffer at arrival time
+// so that a kernel reading a buffer before waiting on its tag sees
+// stale data, just as on hardware.
+func (s *SPE) dma(p *sim.Proc, ea, lsa, bytes int64, deliver func()) *sim.Completion {
+	if err := checkAlign(ea, lsa, bytes); err != nil {
+		panic(err)
+	}
+	s.issue(p)
+	lineBytes := linesSpanned(ea, bytes) * CacheLine
+	s.DMABytes += bytes
+	s.DMALineBytes += lineBytes
+	s.DMACmds++
+	var c *sim.Completion
+	if s.M.Mems != nil {
+		// NUMA: a command is served by the chip owning its first line
+		// (pages are line-interleaved, so a streaming workload spreads
+		// evenly); a remote command crosses the BIF and pays extra
+		// latency on top of the home memory's pipeline.
+		chips := int64(len(s.M.Mems))
+		home := int((ea / CacheLine) % chips)
+		c = p.TransferAsync(s.M.Mems[home], lineBytes)
+		if home != s.Chip() {
+			eng := p.Engine()
+			remote := &sim.Completion{}
+			extra := s.M.Cfg.RemoteExtra
+			eng.WhenDone(c, func() { eng.CompleteAt(remote, eng.Now()+extra) })
+			c = remote
+		}
+	} else {
+		c = p.TransferAsync(s.M.Mem, lineBytes)
+	}
+	if deliver != nil {
+		p.Engine().WhenDone(c, deliver)
+	}
+	s.pending = append(s.pending, c)
+	return c
+}
+
+// GetAsync starts a DMA from main memory (src, starting at effective
+// address srcEA) into the Local Store buffer dst (at address dstLSA).
+// The data lands in dst when the command completes; wait on the returned
+// completion before reading. Transfers larger than the 16 KB MFC limit
+// are split into multiple commands, as real SPE code must do; the
+// returned completion is the last command's.
+func GetAsync[T Word](p *sim.Proc, s *SPE, dst []T, dstLSA int64, src []T, srcEA int64) *sim.Completion {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("cell: GetAsync length mismatch: dst %d, src %d", len(dst), len(src)))
+	}
+	total := int64(len(src)) * 4
+	var c *sim.Completion
+	for off := int64(0); off < total || c == nil; {
+		n := total - off
+		if n > MaxDMABytes {
+			n = MaxDMABytes
+		}
+		d := dst[off/4 : (off+n)/4]
+		sc := src[off/4 : (off+n)/4]
+		c = s.dma(p, srcEA+off, dstLSA+off, n, func() { copy(d, sc) })
+		off += n
+		if total == 0 {
+			break
+		}
+	}
+	return c
+}
+
+// PutAsync starts a DMA from the Local Store buffer src (at srcLSA) to
+// main memory dst (at dstEA). The model captures the source buffer's
+// contents at issue time; well-formed SPE code must not overwrite a
+// buffer with an outstanding put anyway, and the double-buffered kernels
+// in this library wait on the tag before reuse.
+func PutAsync[T Word](p *sim.Proc, s *SPE, dst []T, dstEA int64, src []T, srcLSA int64) *sim.Completion {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("cell: PutAsync length mismatch: dst %d, src %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+	total := int64(len(src)) * 4
+	var c *sim.Completion
+	for off := int64(0); off < total || c == nil; {
+		n := total - off
+		if n > MaxDMABytes {
+			n = MaxDMABytes
+		}
+		c = s.dma(p, dstEA+off, srcLSA+off, n, nil)
+		off += n
+		if total == 0 {
+			break
+		}
+	}
+	return c
+}
+
+// Get is a blocking GetAsync.
+func Get[T Word](p *sim.Proc, s *SPE, dst []T, dstLSA int64, src []T, srcEA int64) {
+	p.WaitFor(GetAsync(p, s, dst, dstLSA, src, srcEA))
+}
+
+// Put is a blocking PutAsync.
+func Put[T Word](p *sim.Proc, s *SPE, dst []T, dstEA int64, src []T, srcLSA int64) {
+	p.WaitFor(PutAsync(p, s, dst, dstEA, src, srcLSA))
+}
+
+// WaitAll drains every outstanding MFC command (mfc_write_tag_mask +
+// mfc_read_tag_status_all over all tags).
+func (s *SPE) WaitAll(p *sim.Proc) {
+	for _, c := range s.pending {
+		p.WaitFor(c)
+	}
+	s.pending = s.pending[:0]
+}

@@ -1,0 +1,66 @@
+package cell
+
+import "j2kcell/internal/sim"
+
+// Span is one contiguous busy interval of a processing element.
+type Span struct {
+	PE    string
+	Phase string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Trace records per-PE busy spans when attached to a Machine —
+// the raw material for utilization timelines (harness.RenderTimeline).
+type Trace struct {
+	Spans []Span
+	phase string
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// SetPhase labels subsequently recorded spans (the pipeline stage).
+func (t *Trace) SetPhase(name string) {
+	if t != nil {
+		t.phase = name
+	}
+}
+
+// Phase returns the current label.
+func (t *Trace) Phase() string { return t.phase }
+
+func (t *Trace) add(pe string, start, end sim.Time) {
+	if t == nil || end <= start {
+		return
+	}
+	// Merge with the previous span when contiguous and same phase — the
+	// common case for tight kernel loops, keeping traces compact.
+	if n := len(t.Spans); n > 0 {
+		last := &t.Spans[n-1]
+		if last.PE == pe && last.Phase == t.phase && last.End == start {
+			last.End = end
+			return
+		}
+	}
+	t.Spans = append(t.Spans, Span{PE: pe, Phase: t.phase, Start: start, End: end})
+}
+
+// BusyInWindow sums the busy time of pe within [a, b).
+func (t *Trace) BusyInWindow(pe string, a, b sim.Time) sim.Time {
+	var busy sim.Time
+	for _, s := range t.Spans {
+		if s.PE != pe || s.End <= a || s.Start >= b {
+			continue
+		}
+		lo, hi := s.Start, s.End
+		if lo < a {
+			lo = a
+		}
+		if hi > b {
+			hi = b
+		}
+		busy += hi - lo
+	}
+	return busy
+}

@@ -1,0 +1,287 @@
+// Package codec assembles the full JPEG2000 encoder and decoder
+// pipelines from the stage packages (mct, dwt, quant, t1, rate, t2,
+// codestream). This sequential implementation is the correctness
+// oracle: the Cell-parallel encoder (internal/core) must produce
+// byte-identical codestreams, and the decoder here verifies both.
+package codec
+
+import (
+	"fmt"
+
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/quant"
+	"j2kcell/internal/t1"
+)
+
+// Options selects the coding path and its parameters.
+type Options struct {
+	// Lossless selects the reversible path (RCT + 5/3, no
+	// quantization, no rate control) — JasPer's default mode in the
+	// paper. Otherwise the irreversible path (ICT + 9/7 + deadzone
+	// quantization) runs, optionally rate-controlled.
+	Lossless bool
+	// Levels is the number of DWT decompositions (default 5).
+	Levels int
+	// CBW, CBH are the code block dimensions (default 64×64, the
+	// standard maximum; the Muta baseline uses 32×32).
+	CBW, CBH int
+	// Rate, for the lossy path, is the target compressed size as a
+	// fraction of the raw image bytes (the paper encodes at 0.1).
+	// Zero disables rate control.
+	Rate float64
+	// LayerRates, for the lossy path, requests multiple quality layers
+	// at the given cumulative rate fractions (strictly increasing,
+	// e.g. [0.02, 0.1, 0.5]); decoding a prefix of layers reconstructs
+	// the image at the corresponding rate. When set it supersedes Rate
+	// (the last entry is the total rate; 0 keeps everything in the
+	// final layer).
+	LayerRates []float64
+	// BaseDelta is the image-domain quantizer step Δ0 (default 0.5).
+	BaseDelta float64
+	// Progression selects the packet ordering.
+	Progression Progression
+	// TileW, TileH split the image into independently coded tiles
+	// (0 = one tile covering the image, the paper's configuration).
+	// Tiling bounds encoder memory and adds a coarse parallel axis at
+	// the cost of boundary artifacts at low rates.
+	TileW, TileH int
+	// Resilience prefixes every packet with an SOP resync marker
+	// (T.800 Scod bit 1). A decoder hitting a corrupt packet header can
+	// then skip to the next marker and keep going, losing only the
+	// damaged packet's blocks instead of the rest of the stream.
+	Resilience bool
+	// VisualWeighting applies contrast-sensitivity (CSF) weights to the
+	// PCRD distortion estimates on the lossy path: the allocator then
+	// spends bytes where the eye is most sensitive (low spatial
+	// frequencies, luma) instead of minimizing plain MSE. The emitted
+	// block bitstreams are unchanged; only truncation points move.
+	VisualWeighting bool
+}
+
+// csfWeight returns the visual weight for a subband: 1.0 at the
+// coarsest frequencies, falling for fine detail bands (values follow
+// the widely used Daly-style table for ~1.7 screen heights viewing,
+// as shipped in JasPer and Kakadu), with chroma discounted further.
+func csfWeight(o dwt.Orient, level int, chroma bool) float64 {
+	if o == dwt.LL {
+		return 1.0
+	}
+	// Index by depth from the finest level (1 = finest).
+	var w float64
+	switch {
+	case level <= 1:
+		if o == dwt.HH {
+			w = 0.30
+		} else {
+			w = 0.56
+		}
+	case level == 2:
+		if o == dwt.HH {
+			w = 0.59
+		} else {
+			w = 0.73
+		}
+	case level == 3:
+		if o == dwt.HH {
+			w = 0.82
+		} else {
+			w = 0.92
+		}
+	default:
+		w = 1.0
+	}
+	if chroma {
+		w *= 0.7
+	}
+	return w
+}
+
+// Progression is a packet ordering (T.800 progression order).
+type Progression int
+
+// Supported progression orders.
+const (
+	// LRCP iterates layer, resolution, component — quality progressive.
+	LRCP Progression = iota
+	// RLCP iterates resolution, layer, component — resolution
+	// progressive: all data for a resolution arrives before any finer
+	// one, so thumbnail decoding needs only a stream prefix.
+	RLCP
+)
+
+// WithDefaults fills zero fields and clamps levels to the image size.
+func (o Options) WithDefaults(w, h int) Options {
+	if o.Levels == 0 {
+		o.Levels = 5
+	}
+	if ml := dwt.MaxLevels(w, h); o.Levels > ml {
+		o.Levels = ml
+	}
+	if o.CBW == 0 {
+		o.CBW = 64
+	}
+	if o.CBH == 0 {
+		o.CBH = 64
+	}
+	if o.BaseDelta == 0 {
+		o.BaseDelta = quant.DefaultBaseDelta
+	}
+	return o
+}
+
+// Mode returns the Tier-1 termination style for these options:
+// per-pass termination exactly when rate control will truncate or
+// layer boundaries must be independently decodable.
+func (o Options) Mode() t1.Mode {
+	if !o.Lossless && (o.Rate > 0 || len(o.LayerRates) > 0) {
+		return t1.ModeTermAll
+	}
+	return t1.ModeSingle
+}
+
+// NumLayers returns the number of quality layers these options emit.
+func (o Options) NumLayers() int {
+	if !o.Lossless && len(o.LayerRates) > 0 {
+		return len(o.LayerRates)
+	}
+	return 1
+}
+
+// Filter returns the wavelet used by these options.
+func (o Options) Filter() dwt.Filter {
+	if o.Lossless {
+		return dwt.W53
+	}
+	return dwt.W97
+}
+
+// BlockJob identifies one code block to be Tier-1 coded: its component,
+// subband, grid position within the band, and absolute plane region.
+type BlockJob struct {
+	Comp    int
+	BandIdx int
+	Band    dwt.Band
+	GX, GY  int // block grid coordinates within the band
+	X0, Y0  int // absolute plane coordinates
+	W, H    int
+	Gain    float64
+}
+
+// PlanBlocks enumerates the subbands and code block jobs for a w×h
+// image under opt, in the canonical order (component, band, raster).
+// Every encoder variant in this repository plans with this function, so
+// they all code exactly the same block set.
+func PlanBlocks(w, h, ncomp int, opt Options) ([]dwt.Band, []BlockJob) {
+	bands := dwt.Layout(w, h, opt.Levels)
+	var jobs []BlockJob
+	for c := 0; c < ncomp; c++ {
+		for bi, b := range bands {
+			if b.W == 0 || b.H == 0 {
+				continue
+			}
+			gain := 1.0 // lossy: Δ_b = Δ0/g_b makes q-domain errors uniform
+			if opt.Lossless {
+				gain = dwt.BandGain(dwt.W53, opt.Levels, b.Orient, b.Level)
+			} else if opt.VisualWeighting {
+				gain = csfWeight(b.Orient, b.Level, c > 0)
+			}
+			for gy := 0; gy*opt.CBH < b.H; gy++ {
+				for gx := 0; gx*opt.CBW < b.W; gx++ {
+					bw := opt.CBW
+					if (gx+1)*opt.CBW > b.W {
+						bw = b.W - gx*opt.CBW
+					}
+					bh := opt.CBH
+					if (gy+1)*opt.CBH > b.H {
+						bh = b.H - gy*opt.CBH
+					}
+					jobs = append(jobs, BlockJob{
+						Comp: c, BandIdx: bi, Band: b, GX: gx, GY: gy,
+						X0: b.X0 + gx*opt.CBW, Y0: b.Y0 + gy*opt.CBH,
+						W: bw, H: bh, Gain: gain,
+					})
+				}
+			}
+		}
+	}
+	return bands, jobs
+}
+
+// ResBands returns the band indices belonging to resolution r
+// (0 = LL only; r >= 1 = the three detail bands of level levels-r+1),
+// matching the dwt.Layout ordering.
+func ResBands(levels, r int) []int {
+	if r == 0 {
+		return []int{0}
+	}
+	base := 1 + 3*(r-1)
+	return []int{base, base + 1, base + 2}
+}
+
+// PacketOrder returns the (layer, resolution, component) triples in
+// transmission order for a progression. Encoder and decoder iterate
+// this exact sequence, which is what keeps the tag-tree and Lblock
+// state synchronized.
+func PacketOrder(prog Progression, layers, levels, ncomp int) [][3]int {
+	var order [][3]int
+	switch prog {
+	case RLCP:
+		for r := 0; r <= levels; r++ {
+			for l := 0; l < layers; l++ {
+				for c := 0; c < ncomp; c++ {
+					order = append(order, [3]int{l, r, c})
+				}
+			}
+		}
+	default: // LRCP
+		for l := 0; l < layers; l++ {
+			for r := 0; r <= levels; r++ {
+				for c := 0; c < ncomp; c++ {
+					order = append(order, [3]int{l, r, c})
+				}
+			}
+		}
+	}
+	return order
+}
+
+// Stats summarizes an encode for tests and the performance models.
+type Stats struct {
+	W, H, NComp int
+	Samples     int   // W*H*NComp
+	Blocks      int   // non-empty code blocks
+	T1Scanned   int64 // coefficient visits across all coded passes
+	T1Coded     int64 // MQ decisions across all coded passes
+	TotalPasses int
+	KeptPasses  int
+	HeaderBytes int
+	BodyBytes   int
+}
+
+// Result is a completed encode.
+type Result struct {
+	Data  []byte
+	Stats Stats
+	// Internals exposed for the performance harness and the parallel
+	// encoders' verification paths.
+	Jobs      []BlockJob
+	Blocks    []*t1.Block
+	Keep      []int   // final-layer cumulative pass selection
+	LayerKeep [][]int // per-layer cumulative pass selections
+}
+
+func validateImage(img *imgmodel.Image) error {
+	if img.W <= 0 || img.H <= 0 || len(img.Comps) == 0 {
+		return fmt.Errorf("codec: empty image")
+	}
+	if img.Depth < 1 || img.Depth > 16 {
+		return fmt.Errorf("codec: unsupported depth %d", img.Depth)
+	}
+	for _, p := range img.Comps {
+		if p.W != img.W || p.H != img.H {
+			return fmt.Errorf("codec: component geometry mismatch (subsampling unsupported)")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,463 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+
+	"j2kcell/internal/codestream"
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/jp2"
+	"j2kcell/internal/mct"
+	"j2kcell/internal/quant"
+	"j2kcell/internal/t1"
+	"j2kcell/internal/t2"
+)
+
+// Decode reconstructs an image from a codestream produced by Encode
+// (or by the parallel encoders, whose output is byte-identical).
+func Decode(data []byte) (*imgmodel.Image, error) {
+	return DecodeWith(data, DecodeOptions{})
+}
+
+// DecodeOptions selects progressive decoding subsets.
+type DecodeOptions struct {
+	// MaxLayers decodes only the first n quality layers (0 = all):
+	// quality-progressive reconstruction at a lower rate.
+	MaxLayers int
+	// DiscardLevels drops the finest n resolution levels (0 = full
+	// size): resolution-progressive reconstruction of a
+	// ceil(w/2^n) × ceil(h/2^n) image without decoding the fine bands.
+	DiscardLevels int
+	// Region, when non-zero, decodes only the code blocks whose wavelet
+	// support influences the given image window and returns just that
+	// window — JPEG2000's random spatial access. Tier-1, the dominant
+	// decode cost, is skipped for every other block. Not combinable
+	// with DiscardLevels.
+	Region Rect
+	// Workers > 1 runs Tier-1 block decoding (the dominant cost) across
+	// a goroutine pool. Output is identical to the serial decode: every
+	// block writes a disjoint region of the coefficient planes.
+	Workers int
+}
+
+// findSOP returns the offset of the next SOP marker at or after `from`
+// (-1 if none).
+func findSOP(body []byte, from int) int {
+	for i := from; i+5 < len(body); i++ {
+		if body[i] == 0xFF && body[i+1] == 0x91 && body[i+2] == 0x00 && body[i+3] == 0x04 {
+			return i
+		}
+	}
+	return -1
+}
+
+// regionSet reports whether a window was requested.
+func (d DecodeOptions) regionSet() bool { return d.Region.W > 0 && d.Region.H > 0 }
+
+// regionMargin is the per-side expansion, in band coordinates, that
+// guarantees every coefficient whose synthesis support touches the
+// window is decoded: each inverse lifting level widens dependence by at
+// most two coefficients per side (9/7), and the geometric sum of the
+// halved propagation is bounded by 4; one extra guards rounding.
+const regionMargin = 5
+
+// bandWindow maps an image-space window to the band-coordinate rect
+// whose coefficients can influence it, for a band at the given level.
+func bandWindow(r Rect, level int) Rect {
+	x0 := (r.X0 >> uint(level)) - regionMargin
+	y0 := (r.Y0 >> uint(level)) - regionMargin
+	x1 := ((r.X0 + r.W - 1) >> uint(level)) + regionMargin
+	y1 := ((r.Y0 + r.H - 1) >> uint(level)) + regionMargin
+	return Rect{X0: x0, Y0: y0, W: x1 - x0 + 1, H: y1 - y0 + 1}
+}
+
+func rectsIntersect(a, b Rect) bool {
+	return a.X0 < b.X0+b.W && b.X0 < a.X0+a.W && a.Y0 < b.Y0+b.H && b.Y0 < a.Y0+a.H
+}
+
+// blockAcc accumulates one code block's contributions across layers.
+type blockAcc struct {
+	zbp      int
+	passes   int
+	segLens  []int
+	data     []byte
+	included bool
+}
+
+// DecodeWith reconstructs an image, optionally truncating the quality
+// or resolution progression.
+func DecodeWith(data []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+	if jp2.IsJP2(data) {
+		_, cs, err := jp2.Unwrap(data)
+		if err != nil {
+			return nil, err
+		}
+		data = cs
+	}
+	h, bodies, err := codestream.DecodeTiles(data)
+	if err != nil {
+		return nil, err
+	}
+	if dopt.regionSet() {
+		if dopt.DiscardLevels != 0 {
+			return nil, fmt.Errorf("codec: Region cannot be combined with DiscardLevels")
+		}
+		r := dopt.Region
+		if r.X0 < 0 || r.Y0 < 0 || r.X0+r.W > h.W || r.Y0+r.H > h.H {
+			return nil, fmt.Errorf("codec: region %+v outside %dx%d image", r, h.W, h.H)
+		}
+	}
+	if len(bodies) > 1 || h.TileW < h.W || h.TileH < h.H {
+		return decodeTiled(h, bodies, dopt)
+	}
+	tile, err := decodeTile(h, h.W, h.H, bodies[0], dopt)
+	if err != nil || !dopt.regionSet() {
+		return tile, err
+	}
+	r := dopt.Region
+	return tile.SubImage(r.X0, r.Y0, r.W, r.H), nil
+}
+
+// decodeTile reconstructs one tile of tw×th samples from its packet
+// body.
+func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+	bands := dwt.Layout(tw, th, h.Levels)
+	mode := t1.ModeSingle
+	style := t2.SegSingle
+	if h.TermAll {
+		mode, style = t1.ModeTermAll, t2.SegTermAll
+	}
+	maxLayers := h.Layers
+	if dopt.MaxLayers > 0 && dopt.MaxLayers < maxLayers {
+		maxLayers = dopt.MaxLayers
+	}
+	discard := dopt.DiscardLevels
+	if discard < 0 {
+		discard = 0
+	}
+	if discard > h.Levels {
+		discard = h.Levels
+	}
+	keepRes := h.Levels - discard // decode resolutions 0..keepRes
+
+	// Parse all packets in progression order, accumulating per-block state.
+	// Precinct coding state persists across layers per (comp, band).
+	type key struct{ c, b int }
+	precincts := map[key]*t2.Precinct{}
+	accs := map[key][]*blockAcc{}
+	for c := 0; c < h.NComp; c++ {
+		for bi, band := range bands {
+			gw := (band.W + h.CBW - 1) / h.CBW
+			gh := (band.H + h.CBH - 1) / h.CBH
+			precincts[key{c, bi}] = t2.NewPrecinct(gw, gh)
+			accs[key{c, bi}] = make([]*blockAcc, gw*gh)
+		}
+	}
+
+	off := 0
+	for _, lrc := range PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp) {
+		l, r, c := lrc[0], lrc[1], lrc[2]
+		resBands := ResBands(h.Levels, r)
+		var pkt []*t2.Precinct
+		for _, bi := range resBands {
+			pkt = append(pkt, precincts[key{c, bi}])
+		}
+		if h.SOPMarkers {
+			// Each packet is prefixed FF 91 00 04 seq16; resync here.
+			at := findSOP(body, off)
+			if at < 0 {
+				break // no more packets recoverable
+			}
+			off = at + 6
+		}
+		n, err := t2.DecodePacketEPH(body[off:], pkt, l, style, h.SOPMarkers)
+		if err != nil {
+			if h.SOPMarkers {
+				// Damaged packet: drop its contributions, clear the
+				// parsed state, and resync at the next marker.
+				for _, p := range pkt {
+					for i := range p.Blocks {
+						if p.Blocks[i] != nil {
+							p.Blocks[i].NumPasses = 0
+						}
+					}
+				}
+				if at := findSOP(body, off); at >= 0 {
+					off = at
+				} else {
+					off = len(body)
+				}
+				continue
+			}
+			return nil, fmt.Errorf("codec: packet l=%d r=%d c=%d: %w", l, r, c, err)
+		}
+		off += n
+		if l >= maxLayers || r > keepRes {
+			continue // parsed for position, contents discarded
+		}
+		for _, bi := range resBands {
+			p := precincts[key{c, bi}]
+			acc := accs[key{c, bi}]
+			for i, blk := range p.Blocks {
+				if blk == nil || blk.NumPasses == 0 {
+					continue
+				}
+				a := acc[i]
+				if a == nil {
+					a = &blockAcc{zbp: blk.ZeroBP, included: true}
+					acc[i] = a
+				}
+				a.passes += blk.NumPasses
+				for _, s := range blk.Segments {
+					a.segLens = append(a.segLens, s.Len)
+				}
+				a.data = append(a.data, blk.Data...)
+			}
+		}
+	}
+
+	// Tier-1 decode every accumulated block into coefficient planes,
+	// skipping blocks whose synthesis support cannot touch a requested
+	// region. Blocks write disjoint plane regions, so they decode
+	// independently — serially or across a worker pool.
+	planes := make([]*imgmodel.Plane, h.NComp)
+	for c := range planes {
+		planes[c] = imgmodel.NewPlane(tw, th)
+	}
+	type blockTask struct {
+		acc    *blockAcc
+		orient dwt.Orient
+		numBPS int
+		x0, y0 int
+		bw, bh int
+		plane  *imgmodel.Plane
+		c, bi  int
+		gx, gy int
+	}
+	var tasks []blockTask
+	for c := 0; c < h.NComp; c++ {
+		for bi, band := range bands {
+			if band.W == 0 || band.H == 0 {
+				continue
+			}
+			var want Rect
+			if dopt.regionSet() {
+				want = bandWindow(dopt.Region, band.Level)
+			}
+			gw := (band.W + h.CBW - 1) / h.CBW
+			for i, a := range accs[key{c, bi}] {
+				if a == nil {
+					continue
+				}
+				gx, gy := i%gw, i/gw
+				if dopt.regionSet() {
+					blk := Rect{X0: gx * h.CBW, Y0: gy * h.CBH, W: h.CBW, H: h.CBH}
+					if !rectsIntersect(blk, want) {
+						continue
+					}
+				}
+				bw := h.CBW
+				if (gx+1)*h.CBW > band.W {
+					bw = band.W - gx*h.CBW
+				}
+				bh := h.CBH
+				if (gy+1)*h.CBH > band.H {
+					bh = band.H - gy*h.CBH
+				}
+				tasks = append(tasks, blockTask{
+					acc: a, orient: band.Orient, numBPS: h.Mb[c][bi] - a.zbp,
+					x0: band.X0 + gx*h.CBW, y0: band.Y0 + gy*h.CBH,
+					bw: bw, bh: bh, plane: planes[c], c: c, bi: bi, gx: gx, gy: gy,
+				})
+			}
+		}
+	}
+	decodeOne := func(tk blockTask) error {
+		pl := tk.plane
+		err := t1.Decode(pl.Data[tk.y0*pl.Stride+tk.x0:], tk.bw, tk.bh, pl.Stride,
+			tk.orient, mode, tk.numBPS, tk.acc.passes, tk.acc.data, tk.acc.segLens)
+		if err != nil {
+			return fmt.Errorf("codec: block c=%d band=%d (%d,%d): %w", tk.c, tk.bi, tk.gx, tk.gy, err)
+		}
+		return nil
+	}
+	if dopt.Workers > 1 && len(tasks) > 1 {
+		errs := make([]error, len(tasks))
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		next := 0
+		for w := 0; w < dopt.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= len(tasks) {
+						return
+					}
+					errs[i] = decodeOne(tasks[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, tk := range tasks {
+			if err := decodeOne(tk); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if discard == 0 {
+		return reconstruct(h, bands, planes, tw, th)
+	}
+	return reconstructReduced(h, bands, planes, tw, th, discard)
+}
+
+// reconstruct runs the full-size inverse transforms for one tile.
+func reconstruct(h *codestream.Header, bands []dwt.Band, planes []*imgmodel.Plane, tw, th int) (*imgmodel.Image, error) {
+	img := imgmodel.NewImage(tw, th, h.NComp, h.Depth)
+	if h.Lossless {
+		for c, p := range planes {
+			dwt.Inverse53(p.Data, tw, th, p.Stride, h.Levels)
+			copy(img.Comps[c].Data, p.Data)
+		}
+		inverseMCTInt(img, h)
+		return img, nil
+	}
+	fplanes := dequantize(h, bands, planes, tw, th)
+	for _, fp := range fplanes {
+		dwt.Inverse97(fp.Data, tw, th, fp.Stride, h.Levels)
+	}
+	inverseMCTFloat(img, fplanes, h)
+	return img, nil
+}
+
+// reconstructReduced inverse-transforms only the kept resolutions: the
+// LL plane of the discarded levels becomes the output image.
+func reconstructReduced(h *codestream.Header, bands []dwt.Band, planes []*imgmodel.Plane, tw, th, discard int) (*imgmodel.Image, error) {
+	rw, rh := tw, th
+	for i := 0; i < discard; i++ {
+		rw, rh = (rw+1)/2, (rh+1)/2
+	}
+	img := imgmodel.NewImage(rw, rh, h.NComp, h.Depth)
+	if h.Lossless {
+		for c, p := range planes {
+			// Invert levels discard..Levels-1 only, then crop the LL.
+			invertUpper53(p, tw, th, h.Levels, discard)
+			for y := 0; y < rh; y++ {
+				copy(img.Comps[c].Row(y), p.Row(y)[:rw])
+			}
+		}
+		inverseMCTInt(img, h)
+		return img, nil
+	}
+	fplanes := dequantize(h, bands, planes, tw, th, discard)
+	red := make([]*imgmodel.FPlane, len(fplanes))
+	for c, fp := range fplanes {
+		invertUpper97(fp, tw, th, h.Levels, discard)
+		r := imgmodel.NewFPlane(rw, rh)
+		for y := 0; y < rh; y++ {
+			copy(r.Row(y), fp.Row(y)[:rw])
+		}
+		red[c] = r
+	}
+	inverseMCTFloat(img, red, h)
+	return img, nil
+}
+
+// invertUpper53 undoes the coarsest levels only (levels-1 .. discard),
+// leaving the top-left region holding the reduced-resolution image.
+func invertUpper53(p *imgmodel.Plane, w, h, levels, discard int) {
+	dwt.InverseLevels53(p.Data, w, h, p.Stride, levels, discard)
+}
+
+// invertUpper97 is the float analogue.
+func invertUpper97(p *imgmodel.FPlane, w, h, levels, discard int) {
+	dwt.InverseLevels97(p.Data, w, h, p.Stride, levels, discard)
+}
+
+// dequantize converts quantizer indices back to coefficients for all
+// bands at resolutions surviving `discard` (others stay zero and are
+// never read).
+func dequantize(h *codestream.Header, bands []dwt.Band, planes []*imgmodel.Plane, w, hh int, _ ...int) []*imgmodel.FPlane {
+	fplanes := make([]*imgmodel.FPlane, len(planes))
+	for c, p := range planes {
+		fp := imgmodel.NewFPlane(w, hh)
+		for _, b := range bands {
+			if b.W == 0 || b.H == 0 {
+				continue
+			}
+			delta := float32(quant.StepFor(h.BaseDelta, h.Levels, b.Orient, b.Level))
+			for y := b.Y0; y < b.Y0+b.H; y++ {
+				quant.DequantizeRow(fp.Data[y*fp.Stride+b.X0:][:b.W], p.Data[y*p.Stride+b.X0:][:b.W], delta)
+			}
+		}
+		fplanes[c] = fp
+	}
+	return fplanes
+}
+
+// inverseMCTInt finishes the reversible path: inverse RCT or unshift.
+func inverseMCTInt(img *imgmodel.Image, h *codestream.Header) {
+	for y := 0; y < img.H; y++ {
+		if h.UseMCT && h.NComp == 3 {
+			mct.InverseRCTRow(img.Comps[0].Row(y), img.Comps[1].Row(y), img.Comps[2].Row(y), h.Depth)
+		} else {
+			for c := range img.Comps {
+				mct.UnshiftRow(img.Comps[c].Row(y), h.Depth)
+			}
+		}
+	}
+	clampImage(img, h.Depth)
+}
+
+// inverseMCTFloat finishes the irreversible path: inverse ICT (or
+// unshift), rounding and clamping.
+func inverseMCTFloat(img *imgmodel.Image, fplanes []*imgmodel.FPlane, h *codestream.Header) {
+	off := float32(int32(1) << (h.Depth - 1))
+	for y := 0; y < img.H; y++ {
+		if h.UseMCT && h.NComp == 3 {
+			mct.InverseICTRow(fplanes[0].Row(y), fplanes[1].Row(y), fplanes[2].Row(y),
+				img.Comps[0].Row(y), img.Comps[1].Row(y), img.Comps[2].Row(y), h.Depth)
+		} else {
+			for c := range img.Comps {
+				src, dst := fplanes[c].Row(y), img.Comps[c].Row(y)
+				for i := range src {
+					v := src[i] + off
+					if v >= 0 {
+						dst[i] = int32(v + 0.5)
+					} else {
+						dst[i] = -int32(-v + 0.5)
+					}
+				}
+			}
+		}
+	}
+	clampImage(img, h.Depth)
+}
+
+func clampImage(img *imgmodel.Image, depth int) {
+	maxv := int32(1)<<depth - 1
+	for _, p := range img.Comps {
+		for y := 0; y < p.H; y++ {
+			row := p.Row(y)
+			for i, v := range row {
+				if v < 0 {
+					row[i] = 0
+				} else if v > maxv {
+					row[i] = maxv
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package codec
+
+import (
+	"fmt"
+
+	"j2kcell/internal/codestream"
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/mct"
+	"j2kcell/internal/quant"
+	"j2kcell/internal/rate"
+	"j2kcell/internal/t1"
+	"j2kcell/internal/t2"
+)
+
+// ForwardTransform runs level shift + component transform + DWT
+// (+ quantization on the lossy path) and returns the integer
+// coefficient planes ready for Tier-1. It is shared verbatim between
+// the sequential encoder and the test oracles for the parallel ones.
+func ForwardTransform(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
+	w, h := img.W, img.H
+	ncomp := len(img.Comps)
+	useMCT := ncomp == 3
+
+	if opt.Lossless {
+		planes := make([]*imgmodel.Plane, ncomp)
+		for c := range planes {
+			planes[c] = img.Comps[c].Clone()
+		}
+		for y := 0; y < h; y++ {
+			if useMCT {
+				mct.ForwardRCTRow(planes[0].Row(y), planes[1].Row(y), planes[2].Row(y), img.Depth)
+			} else {
+				for c := range planes {
+					mct.LevelShiftRow(planes[c].Row(y), img.Depth)
+				}
+			}
+		}
+		for _, p := range planes {
+			dwt.Forward53(p.Data, w, h, p.Stride, opt.Levels)
+		}
+		return planes
+	}
+
+	fplanes := make([]*imgmodel.FPlane, ncomp)
+	for c := range fplanes {
+		fplanes[c] = imgmodel.NewFPlane(w, h)
+	}
+	for y := 0; y < h; y++ {
+		if useMCT {
+			mct.ForwardICTRow(
+				img.Comps[0].Row(y), img.Comps[1].Row(y), img.Comps[2].Row(y),
+				fplanes[0].Row(y), fplanes[1].Row(y), fplanes[2].Row(y), img.Depth)
+		} else {
+			for c := range fplanes {
+				src, dst := img.Comps[c].Row(y), fplanes[c].Row(y)
+				off := float32(int32(1) << (img.Depth - 1))
+				for i := range src {
+					dst[i] = float32(src[i]) - off
+				}
+			}
+		}
+	}
+	for _, p := range fplanes {
+		dwt.Forward97(p.Data, w, h, p.Stride, opt.Levels)
+	}
+	// Quantize band by band with the gain-derived steps.
+	planes := make([]*imgmodel.Plane, ncomp)
+	bands := dwt.Layout(w, h, opt.Levels)
+	for c := range planes {
+		planes[c] = imgmodel.NewPlane(w, h)
+		for _, b := range bands {
+			if b.W == 0 || b.H == 0 {
+				continue
+			}
+			delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, b.Orient, b.Level))
+			for y := b.Y0; y < b.Y0+b.H; y++ {
+				off := y*planes[c].Stride + b.X0
+				quant.QuantizeRow(planes[c].Data[off:off+b.W], fplanes[c].Data[y*fplanes[c].Stride+b.X0:][:b.W], delta)
+			}
+		}
+	}
+	return planes
+}
+
+// Encode compresses img into a complete JPEG2000 codestream.
+func Encode(img *imgmodel.Image, opt Options) (*Result, error) {
+	if err := validateImage(img); err != nil {
+		return nil, err
+	}
+	if opt.TileW > 0 || opt.TileH > 0 {
+		if opt.TileW <= 0 || opt.TileH <= 0 {
+			return nil, fmt.Errorf("codec: both tile dimensions must be set")
+		}
+		return EncodeTiled(img, opt, 1)
+	}
+	opt = opt.WithDefaults(img.W, img.H)
+	w, h := img.W, img.H
+	ncomp := len(img.Comps)
+	mode := opt.Mode()
+
+	planes := ForwardTransform(img, opt)
+	_, jobs := PlanBlocks(w, h, ncomp, opt)
+
+	blocks := make([]*t1.Block, len(jobs))
+	for i, j := range jobs {
+		p := planes[j.Comp]
+		blocks[i] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride, j.Band.Orient, mode, j.Gain)
+	}
+
+	res := Finish(img, opt, jobs, blocks)
+	return res, nil
+}
+
+// Finish performs everything downstream of Tier-1 — PCRD rate
+// allocation, Tier-2 packet assembly, and codestream framing — given
+// the coded blocks. The sequential encoder and the Cell-parallel
+// encoder both call this, which is what makes their outputs
+// byte-identical by construction.
+func Finish(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Block) *Result {
+	opt = opt.WithDefaults(img.W, img.H)
+	w, h := img.W, img.H
+	ncomp := len(img.Comps)
+	mode := opt.Mode()
+
+	build := func(keeps [][]int) ([]byte, []byte) {
+		body, mb := AssemblePackets(w, h, ncomp, opt, jobs, blocks, keeps, nil)
+		head := &codestream.Header{
+			W: w, H: h, NComp: ncomp, Depth: img.Depth,
+			Levels: opt.Levels, CBW: opt.CBW, CBH: opt.CBH,
+			Layers: len(keeps), Progression: int(opt.Progression),
+			SOPMarkers: opt.Resilience,
+			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
+			TermAll: mode == t1.ModeTermAll, BaseDelta: opt.BaseDelta, Mb: mb,
+		}
+		return codestream.Encode(head, body), body
+	}
+
+	rates := opt.layerRates()
+	keeps := [][]int{FullKeep(blocks)}
+	constrained := !opt.Lossless && rates != nil
+	if constrained {
+		keeps = AllocateLayers(blocks, jobs, img, opt, rates, 0)
+	}
+	data, body := build(keeps)
+	if constrained {
+		// Header sizes are only known after assembly; if the initial
+		// overhead estimate was short, shave the body budget and retry.
+		target := int(rates[len(rates)-1] * float64(w*h*ncomp*img.Depth/8))
+		for extra := 16; len(data) > target && extra < target; extra *= 2 {
+			keeps = AllocateLayers(blocks, jobs, img, opt, rates, len(data)-target+extra)
+			data, body = build(keeps)
+		}
+	}
+
+	keep := keeps[len(keeps)-1]
+	res := &Result{Data: data, Jobs: jobs, Blocks: blocks, Keep: keep, LayerKeep: keeps}
+	res.Stats = buildStats(img, jobs, blocks, keep, len(data)-len(body), len(body))
+	return res
+}
+
+// layerRates returns the cumulative per-layer rate targets, or nil when
+// nothing constrains the stream.
+func (o Options) layerRates() []float64 {
+	if o.Lossless {
+		return nil
+	}
+	if len(o.LayerRates) > 0 {
+		return o.LayerRates
+	}
+	if o.Rate > 0 {
+		return []float64{o.Rate}
+	}
+	return nil
+}
+
+// FullKeep keeps every pass of every block (lossless / no rate target).
+func FullKeep(blocks []*t1.Block) []int {
+	keep := make([]int, len(blocks))
+	for i, b := range blocks {
+		keep[i] = len(b.Passes)
+	}
+	return keep
+}
+
+// AllocatePasses runs PCRD-opt against the byte budget implied by
+// opt.Rate, reserving an estimate for headers plus any extra deficit a
+// previous assembly round measured.
+func AllocatePasses(blocks []*t1.Block, jobs []BlockJob, img *imgmodel.Image, opt Options, extraOverhead int) []int {
+	keeps := AllocateLayers(blocks, jobs, img, opt, []float64{opt.Rate}, extraOverhead)
+	return keeps[0]
+}
+
+// AllocateLayers runs PCRD-opt once per quality layer against the
+// cumulative rate targets, returning per-layer cumulative pass counts
+// (monotone per block, as layer l extends layer l-1).
+func AllocateLayers(blocks []*t1.Block, jobs []BlockJob, img *imgmodel.Image, opt Options, cumRates []float64, extraOverhead int) [][]int {
+	raw := img.W * img.H * len(img.Comps) * img.Depth / 8
+	rd := make([]rate.BlockRD, len(blocks))
+	for i, b := range blocks {
+		for _, p := range b.Passes {
+			rd[i].Rates = append(rd[i].Rates, p.CumLen)
+			last := 0.0
+			if n := len(rd[i].Dists); n > 0 {
+				last = rd[i].Dists[n-1]
+			}
+			rd[i].Dists = append(rd[i].Dists, last+p.DistDelta)
+		}
+	}
+	final := cumRates[len(cumRates)-1]
+	keeps := make([][]int, len(cumRates))
+	var prev []int
+	for l, r := range cumRates {
+		if r <= 0 { // unconstrained final layer: keep everything
+			keeps[l] = FullKeep(blocks)
+		} else {
+			overhead := 128 + 3*len(blocks)*(l+1)/len(cumRates)
+			if final > 0 {
+				overhead += int(float64(extraOverhead) * r / final)
+			} else {
+				overhead += extraOverhead
+			}
+			budget := int(r*float64(raw)) - overhead
+			keeps[l] = rate.Allocate(rd, budget)
+		}
+		// Layers are embedded: each extends the previous selection.
+		if prev != nil {
+			for i := range keeps[l] {
+				if keeps[l][i] < prev[i] {
+					keeps[l][i] = prev[i]
+				}
+			}
+		}
+		prev = keeps[l]
+	}
+	return keeps
+}
+
+// ComputeMb returns the per-component, per-band M_b table (maximum
+// coded bit planes) for a block set.
+func ComputeMb(ncomp, nbands int, jobs []BlockJob, blocks []*t1.Block) [][]int {
+	mb := make([][]int, ncomp)
+	for c := range mb {
+		mb[c] = make([]int, nbands)
+		for b := range mb[c] {
+			mb[c][b] = 1
+		}
+	}
+	for i, j := range jobs {
+		if blocks[i].NumBPS > mb[j.Comp][j.BandIdx] {
+			mb[j.Comp][j.BandIdx] = blocks[i].NumBPS
+		}
+	}
+	return mb
+}
+
+// MergeMb folds b into a element-wise (maximum), for the global M_b
+// table of a tiled stream.
+func MergeMb(a, b [][]int) [][]int {
+	if a == nil {
+		out := make([][]int, len(b))
+		for i := range b {
+			out[i] = append([]int(nil), b[i]...)
+		}
+		return out
+	}
+	for c := range a {
+		for i := range a[c] {
+			if b[c][i] > a[c][i] {
+				a[c][i] = b[c][i]
+			}
+		}
+	}
+	return a
+}
+
+// AssemblePackets builds the packet body for one tile in progression
+// order and returns the M_b table used. keeps holds one cumulative
+// pass selection per quality layer; mbIn, when non-nil, supplies a
+// precomputed (global) M_b table — required for multi-tile streams,
+// whose header carries a single table.
+func AssemblePackets(w, h, ncomp int, opt Options, jobs []BlockJob, blocks []*t1.Block, keeps [][]int, mbIn [][]int) ([]byte, [][]int) {
+	bands := dwt.Layout(w, h, opt.Levels)
+	nlayers := len(keeps)
+	finalKeep := keeps[nlayers-1]
+	mb := mbIn
+	if mb == nil {
+		mb = ComputeMb(ncomp, len(bands), jobs, blocks)
+	}
+
+	// Group jobs by (comp, band) for precinct filling.
+	type key struct{ c, b int }
+	byBand := map[key][]int{}
+	for i, j := range jobs {
+		k := key{j.Comp, j.BandIdx}
+		byBand[k] = append(byBand[k], i)
+	}
+
+	style := t2.SegSingle
+	if opt.Mode() == t1.ModeTermAll {
+		style = t2.SegTermAll
+	}
+
+	// Persistent precinct state per (comp, band) across layers.
+	precincts := map[key]*t2.Precinct{}
+	for c := 0; c < ncomp; c++ {
+		for bi, band := range bands {
+			gw := (band.W + opt.CBW - 1) / opt.CBW
+			gh := (band.H + opt.CBH - 1) / opt.CBH
+			p := t2.NewPrecinct(gw, gh)
+			for _, ji := range byBand[key{c, bi}] {
+				j, blk := jobs[ji], blocks[ji]
+				if blk.NumBPS == 0 || finalKeep[ji] == 0 {
+					continue
+				}
+				for l := 0; l < nlayers; l++ {
+					if keeps[l][ji] > 0 {
+						p.FirstIncl[j.GY*gw+j.GX] = int32(l)
+						break
+					}
+				}
+				p.ZeroBPs[j.GY*gw+j.GX] = int32(mb[c][bi] - blk.NumBPS)
+			}
+			precincts[key{c, bi}] = p
+		}
+	}
+
+	var body []byte
+	pktSeq := 0
+	for _, lrc := range PacketOrder(opt.Progression, nlayers, opt.Levels, ncomp) {
+		l, r, c := lrc[0], lrc[1], lrc[2]
+		var pkt []*t2.Precinct
+		for _, bi := range ResBands(opt.Levels, r) {
+			band := bands[bi]
+			p := precincts[key{c, bi}]
+			for i := range p.Blocks {
+				p.Blocks[i] = nil
+			}
+			gw := (band.W + opt.CBW - 1) / opt.CBW
+			for _, ji := range byBand[key{c, bi}] {
+				j, blk := jobs[ji], blocks[ji]
+				kPrev := 0
+				if l > 0 {
+					kPrev = keeps[l-1][ji]
+				}
+				k := keeps[l][ji]
+				if k == kPrev || blk.NumBPS == 0 {
+					continue
+				}
+				contrib := &t2.BlockContrib{
+					NumPasses: k - kPrev,
+					ZeroBP:    mb[c][bi] - blk.NumBPS,
+				}
+				off := 0
+				if kPrev > 0 {
+					off = blk.Passes[kPrev-1].CumLen
+				}
+				contrib.Data = blk.Data[off:blk.Passes[k-1].CumLen]
+				if style == t2.SegTermAll {
+					for _, ps := range blk.Passes[kPrev:k] {
+						contrib.Segments = append(contrib.Segments, t2.Segment{Passes: 1, Len: ps.SegLen})
+					}
+				} else {
+					contrib.Segments = []t2.Segment{{Passes: k - kPrev, Len: len(contrib.Data)}}
+				}
+				p.Blocks[j.GY*gw+j.GX] = contrib
+			}
+			pkt = append(pkt, p)
+		}
+		if opt.Resilience {
+			body = appendSOP(body, pktSeq)
+			pktSeq++
+		}
+		body = append(body, t2.EncodePacketEPH(pkt, l, opt.Resilience)...)
+	}
+	return body, mb
+}
+
+// appendSOP emits the 6-byte start-of-packet marker segment.
+func appendSOP(body []byte, seq int) []byte {
+	return append(body, 0xFF, 0x91, 0x00, 0x04, byte(seq>>8), byte(seq))
+}
+
+func buildStats(img *imgmodel.Image, jobs []BlockJob, blocks []*t1.Block, keep []int, headerBytes, bodyBytes int) Stats {
+	s := Stats{
+		W: img.W, H: img.H, NComp: len(img.Comps),
+		Samples:     img.W * img.H * len(img.Comps),
+		HeaderBytes: headerBytes,
+		BodyBytes:   bodyBytes,
+	}
+	for i, b := range blocks {
+		if b.NumBPS > 0 {
+			s.Blocks++
+		}
+		s.T1Scanned += int64(b.TotalScanned())
+		s.T1Coded += int64(b.TotalCoded())
+		s.TotalPasses += len(b.Passes)
+		s.KeptPasses += keep[i]
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"fmt"
+
+	"j2kcell/internal/codestream"
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/jp2"
+	"j2kcell/internal/t2"
+)
+
+// PacketInfo describes one packet's position and size in a codestream.
+type PacketInfo struct {
+	Layer, Res, Comp int
+	Offset, Bytes    int // within the tile body
+	Blocks           int // code blocks contributing
+}
+
+// StreamInfo is the parsed structure of a codestream, without any
+// Tier-1 decoding.
+type StreamInfo struct {
+	Header  *codestream.Header
+	Packets []PacketInfo
+}
+
+// BytesAtResolution sums packet bytes for resolutions <= r: the stream
+// prefix a resolution-progressive (RLCP) decoder would need.
+func (s *StreamInfo) BytesAtResolution(r int) int {
+	n := 0
+	for _, p := range s.Packets {
+		if p.Res <= r {
+			n += p.Bytes
+		}
+	}
+	return n
+}
+
+// BytesAtLayer sums packet bytes for layers < l.
+func (s *StreamInfo) BytesAtLayer(l int) int {
+	n := 0
+	for _, p := range s.Packets {
+		if p.Layer < l {
+			n += p.Bytes
+		}
+	}
+	return n
+}
+
+// Inspect parses a codestream's headers and packet structure without
+// decoding any coefficient data.
+func Inspect(data []byte) (*StreamInfo, error) {
+	if jp2.IsJP2(data) {
+		_, cs, err := jp2.Unwrap(data)
+		if err != nil {
+			return nil, err
+		}
+		data = cs
+	}
+	h, body, err := codestream.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	bands := dwt.Layout(h.W, h.H, h.Levels)
+	style := t2.SegSingle
+	if h.TermAll {
+		style = t2.SegTermAll
+	}
+	type key struct{ c, b int }
+	precincts := map[key]*t2.Precinct{}
+	for c := 0; c < h.NComp; c++ {
+		for bi, band := range bands {
+			gw := (band.W + h.CBW - 1) / h.CBW
+			gh := (band.H + h.CBH - 1) / h.CBH
+			precincts[key{c, bi}] = t2.NewPrecinct(gw, gh)
+		}
+	}
+	info := &StreamInfo{Header: h}
+	off := 0
+	for _, lrc := range PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp) {
+		l, r, c := lrc[0], lrc[1], lrc[2]
+		var pkt []*t2.Precinct
+		for _, bi := range ResBands(h.Levels, r) {
+			pkt = append(pkt, precincts[key{c, bi}])
+		}
+		if h.SOPMarkers {
+			at := findSOP(body, off)
+			if at < 0 {
+				break
+			}
+			off = at + 6
+		}
+		n, err := t2.DecodePacketEPH(body[off:], pkt, l, style, h.SOPMarkers)
+		if err != nil {
+			return nil, fmt.Errorf("codec: inspect packet l=%d r=%d c=%d: %w", l, r, c, err)
+		}
+		nblocks := 0
+		for _, p := range pkt {
+			for _, b := range p.Blocks {
+				if b != nil && b.NumPasses > 0 {
+					nblocks++
+				}
+			}
+		}
+		info.Packets = append(info.Packets, PacketInfo{
+			Layer: l, Res: r, Comp: c, Offset: off, Bytes: n, Blocks: nblocks,
+		})
+		off += n
+	}
+	return info, nil
+}

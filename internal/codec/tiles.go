@@ -1,0 +1,225 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+
+	"j2kcell/internal/codestream"
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/t1"
+)
+
+// Rect is one tile's placement within the image.
+type Rect struct {
+	X0, Y0, W, H int
+}
+
+// TileGrid returns the tile rectangles in raster order for an image
+// split into tw×th tiles anchored at the origin (edge tiles shrink).
+func TileGrid(w, h, tw, th int) []Rect {
+	var out []Rect
+	for y := 0; y < h; y += th {
+		hh := th
+		if y+hh > h {
+			hh = h - y
+		}
+		for x := 0; x < w; x += tw {
+			ww := tw
+			if x+ww > w {
+				ww = w - x
+			}
+			out = append(out, Rect{X0: x, Y0: y, W: ww, H: hh})
+		}
+	}
+	return out
+}
+
+// tileCoded is one tile's Tier-1 output awaiting global rate control.
+type tileCoded struct {
+	rect   Rect
+	img    *imgmodel.Image
+	jobs   []BlockJob
+	blocks []*t1.Block
+}
+
+// EncodeTiled compresses img as a multi-tile codestream: each tile is
+// transformed and Tier-1 coded independently (optionally across a
+// worker pool), PCRD allocates the byte budget globally across every
+// tile's blocks, and each tile's packets form its own tile-part.
+func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error) {
+	if err := validateImage(img); err != nil {
+		return nil, err
+	}
+	opt = opt.WithDefaults(img.W, img.H)
+	if opt.TileW <= 0 || opt.TileH <= 0 {
+		return nil, fmt.Errorf("codec: EncodeTiled needs positive tile dimensions")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ncomp := len(img.Comps)
+	mode := opt.Mode()
+	grid := TileGrid(img.W, img.H, opt.TileW, opt.TileH)
+	tiles := make([]*tileCoded, len(grid))
+
+	// Tier-1 code every tile (tiles are fully independent).
+	var wg sync.WaitGroup
+	var nextMu sync.Mutex
+	next := 0
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				nextMu.Lock()
+				i := next
+				next++
+				nextMu.Unlock()
+				if i >= len(grid) {
+					return
+				}
+				r := grid[i]
+				sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
+				planes := ForwardTransform(sub, opt)
+				_, jobs := PlanBlocks(r.W, r.H, ncomp, opt)
+				blocks := make([]*t1.Block, len(jobs))
+				for bi, j := range jobs {
+					p := planes[j.Comp]
+					blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
+						j.Band.Orient, mode, j.Gain)
+				}
+				tiles[i] = &tileCoded{rect: r, img: sub, jobs: jobs, blocks: blocks}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Global M_b and global rate allocation across all tiles' blocks.
+	nbands := 3*opt.Levels + 1
+	var mb [][]int
+	var allBlocks []*t1.Block
+	var allJobs []BlockJob
+	bounds := make([]int, 0, len(tiles)+1)
+	for _, t := range tiles {
+		bounds = append(bounds, len(allBlocks))
+		mb = MergeMb(mb, ComputeMb(ncomp, nbands, t.jobs, t.blocks))
+		allBlocks = append(allBlocks, t.blocks...)
+		allJobs = append(allJobs, t.jobs...)
+	}
+	bounds = append(bounds, len(allBlocks))
+
+	rates := opt.layerRates()
+	build := func(keeps [][]int) ([]byte, int) {
+		bodies := make([][]byte, len(tiles))
+		bodyTotal := 0
+		for i, t := range tiles {
+			lo, hi := bounds[i], bounds[i+1]
+			tileKeeps := make([][]int, len(keeps))
+			for l := range keeps {
+				tileKeeps[l] = keeps[l][lo:hi]
+			}
+			bodies[i], _ = AssemblePackets(t.rect.W, t.rect.H, ncomp, opt, t.jobs, t.blocks, tileKeeps, mb)
+			bodyTotal += len(bodies[i])
+		}
+		head := &codestream.Header{
+			W: img.W, H: img.H, NComp: ncomp, Depth: img.Depth,
+			Levels: opt.Levels, CBW: opt.CBW, CBH: opt.CBH,
+			TileW: opt.TileW, TileH: opt.TileH,
+			Layers: len(keeps), Progression: int(opt.Progression),
+			SOPMarkers: opt.Resilience,
+			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
+			TermAll: mode == t1.ModeTermAll, BaseDelta: opt.BaseDelta, Mb: mb,
+		}
+		return codestream.EncodeTiles(head, bodies), bodyTotal
+	}
+
+	keeps := [][]int{FullKeep(allBlocks)}
+	constrained := !opt.Lossless && rates != nil
+	if constrained {
+		keeps = AllocateLayers(allBlocks, allJobs, img, opt, rates, 0)
+	}
+	data, bodyTotal := build(keeps)
+	if constrained {
+		target := int(rates[len(rates)-1] * float64(img.W*img.H*ncomp*img.Depth/8))
+		for extra := 16; len(data) > target && extra < target; extra *= 2 {
+			keeps = AllocateLayers(allBlocks, allJobs, img, opt, rates, len(data)-target+extra)
+			data, bodyTotal = build(keeps)
+		}
+	}
+
+	keep := keeps[len(keeps)-1]
+	res := &Result{Data: data, Jobs: allJobs, Blocks: allBlocks, Keep: keep, LayerKeep: keeps}
+	res.Stats = buildStats(img, allJobs, allBlocks, keep, len(data)-bodyTotal, bodyTotal)
+	return res, nil
+}
+
+// decodeTiled reassembles a multi-tile stream.
+func decodeTiled(h *codestream.Header, bodies [][]byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+	grid := TileGrid(h.W, h.H, h.TileW, h.TileH)
+	if len(bodies) != len(grid) {
+		return nil, fmt.Errorf("codec: %d tile parts for a %d-tile grid", len(bodies), len(grid))
+	}
+	discard := dopt.DiscardLevels
+	if discard < 0 {
+		discard = 0
+	}
+	if discard > h.Levels {
+		discard = h.Levels
+	}
+	scale := 1 << uint(discard)
+	if discard > 0 && (h.TileW%scale != 0 || h.TileH%scale != 0) {
+		return nil, fmt.Errorf("codec: reduced decode of tiled stream needs tile size divisible by 2^%d", discard)
+	}
+	if dopt.regionSet() {
+		// Window decode: only tiles intersecting the region are decoded
+		// at all; each contributes its cropped overlap.
+		reg := dopt.Region
+		out := imgmodel.NewImage(reg.W, reg.H, h.NComp, h.Depth)
+		for i, r := range grid {
+			tileRect := Rect{X0: r.X0, Y0: r.Y0, W: r.W, H: r.H}
+			if !rectsIntersect(tileRect, reg) {
+				continue
+			}
+			lo := Rect{ // overlap in tile-local coordinates
+				X0: maxI(reg.X0-r.X0, 0),
+				Y0: maxI(reg.Y0-r.Y0, 0),
+			}
+			lo.W = minI(reg.X0+reg.W, r.X0+r.W) - (r.X0 + lo.X0)
+			lo.H = minI(reg.Y0+reg.H, r.Y0+r.H) - (r.Y0 + lo.Y0)
+			td := dopt
+			td.Region = lo
+			tile, err := decodeTile(h, r.W, r.H, bodies[i], td)
+			if err != nil {
+				return nil, fmt.Errorf("codec: tile %d: %w", i, err)
+			}
+			crop := tile.SubImage(lo.X0, lo.Y0, lo.W, lo.H)
+			out.Insert(crop, r.X0+lo.X0-reg.X0, r.Y0+lo.Y0-reg.Y0)
+		}
+		return out, nil
+	}
+	rw := (h.W + scale - 1) / scale
+	rh := (h.H + scale - 1) / scale
+	out := imgmodel.NewImage(rw, rh, h.NComp, h.Depth)
+	for i, r := range grid {
+		tile, err := decodeTile(h, r.W, r.H, bodies[i], dopt)
+		if err != nil {
+			return nil, fmt.Errorf("codec: tile %d: %w", i, err)
+		}
+		out.Insert(tile, r.X0/scale, r.Y0/scale)
+	}
+	return out, nil
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

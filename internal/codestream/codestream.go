@@ -1,0 +1,334 @@
+// Package codestream reads and writes the JPEG2000 codestream framing:
+// SOC/SIZ/COD/QCD main header marker segments, the SOT/SOD tile
+// wrapper, and the EOC trailer (ITU-T T.800 Annex A). The marker
+// structure follows the standard; the QCD payload is extended to carry
+// the per-component, per-band M_b plane counts and the base quantizer
+// step this codec derives from measured synthesis gains (documented
+// divergence: a standard decoder would recompute these from exponent/
+// mantissa fields, which would tie us to the standard's hard-coded gain
+// tables instead of the measured ones).
+package codestream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Marker codes.
+const (
+	SOC = 0xFF4F
+	SIZ = 0xFF51
+	COD = 0xFF52
+	QCD = 0xFF5C
+	SOT = 0xFF90
+	SOP = 0xFF91 // start of packet (resilience)
+	SOD = 0xFF93
+	EOC = 0xFFD9
+)
+
+// Header carries everything a decoder needs before the packet data.
+type Header struct {
+	W, H         int
+	NComp        int
+	Depth        int
+	Levels       int
+	CBW          int // code block width
+	CBH          int
+	TileW, TileH int  // tile dimensions (0 = one tile covering the image)
+	SOPMarkers   bool // packets are prefixed with SOP resync markers
+	Layers       int  // quality layers (>= 1)
+	Progression  int  // 0 = LRCP, 1 = RLCP
+	Lossless     bool
+	UseMCT       bool
+	TermAll      bool
+	BaseDelta    float64
+	Mb           [][]int // [component][band] coded bit planes
+}
+
+func put16(b []byte, v int) { binary.BigEndian.PutUint16(b, uint16(v)) }
+func put32(b []byte, v int) { binary.BigEndian.PutUint32(b, uint32(v)) }
+
+func appendMarker(out []byte, code int) []byte {
+	return append(out, byte(code>>8), byte(code))
+}
+
+// appendSegment appends marker + 2-byte length (covering the length
+// field itself plus payload) + payload.
+func appendSegment(out []byte, code int, payload []byte) []byte {
+	out = appendMarker(out, code)
+	var l [2]byte
+	put16(l[:], len(payload)+2)
+	return append(append(out, l[:]...), payload...)
+}
+
+// log2int returns log2 for exact powers of two.
+func log2int(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Encode wraps a single tile's packet body in a complete codestream.
+func Encode(h *Header, body []byte) []byte {
+	return EncodeTiles(h, [][]byte{body})
+}
+
+// EncodeTiles wraps one packet body per tile, emitting one SOT/SOD
+// tile-part per tile in index order.
+func EncodeTiles(h *Header, bodies [][]byte) []byte {
+	out := appendMarker(nil, SOC)
+
+	// SIZ.
+	siz := make([]byte, 36+3*h.NComp)
+	put16(siz[0:], 0) // Rsiz: baseline
+	put32(siz[2:], h.W)
+	put32(siz[6:], h.H)
+	put32(siz[10:], 0) // XOsiz
+	put32(siz[14:], 0)
+	tw, th := h.TileW, h.TileH
+	if tw <= 0 || tw > h.W {
+		tw = h.W
+	}
+	if th <= 0 || th > h.H {
+		th = h.H
+	}
+	put32(siz[18:], tw)
+	put32(siz[22:], th)
+	put32(siz[26:], 0)
+	put32(siz[30:], 0)
+	put16(siz[34:], h.NComp)
+	for c := 0; c < h.NComp; c++ {
+		siz[36+3*c] = byte(h.Depth - 1) // Ssiz: unsigned, depth
+		siz[37+3*c] = 1                 // XRsiz
+		siz[38+3*c] = 1                 // YRsiz
+	}
+	out = appendSegment(out, SIZ, siz)
+
+	// COD.
+	cod := make([]byte, 12)
+	cod[0] = 0 // Scod: default precincts
+	if h.SOPMarkers {
+		cod[0] |= 0x02 // SOP marker segments used
+		cod[0] |= 0x04 // EPH markers used (emitted together)
+	}
+	cod[1] = byte(h.Progression)
+	layers := h.Layers
+	if layers < 1 {
+		layers = 1
+	}
+	put16(cod[2:], layers)
+	if h.UseMCT {
+		cod[4] = 1
+	}
+	cod[5] = byte(h.Levels)
+	cod[6] = byte(log2int(h.CBW) - 2)
+	cod[7] = byte(log2int(h.CBH) - 2)
+	if h.TermAll {
+		cod[8] = 0x04 // code block style: terminate each pass
+	}
+	if h.Lossless {
+		cod[9] = 1 // 5/3 reversible
+	}
+	// cod[10:12] spare (precinct defaults).
+	out = appendSegment(out, COD, cod)
+
+	// QCD (extended payload; see package comment).
+	nb := 3*h.Levels + 1
+	qcd := make([]byte, 1+8+h.NComp*nb)
+	if h.Lossless {
+		qcd[0] = 0x20 // no quantization
+	} else {
+		qcd[0] = 0x22 // scalar expounded
+	}
+	binary.BigEndian.PutUint64(qcd[1:], math.Float64bits(h.BaseDelta))
+	for c := 0; c < h.NComp; c++ {
+		for b := 0; b < nb; b++ {
+			qcd[9+c*nb+b] = byte(h.Mb[c][b])
+		}
+	}
+	out = appendSegment(out, QCD, qcd)
+
+	// One SOT/SOD tile-part per tile.
+	for i, body := range bodies {
+		sot := make([]byte, 8)
+		put16(sot[0:], i)              // Isot
+		put32(sot[2:], 12+2+len(body)) // Psot: SOT segment + SOD + body
+		sot[6] = 0                     // TPsot
+		sot[7] = 1                     // TNsot
+		out = appendSegment(out, SOT, sot)
+		out = appendMarker(out, SOD)
+		out = append(out, body...)
+	}
+	out = appendMarker(out, EOC)
+	return out
+}
+
+// Decode parses a codestream, returning the header and the first
+// tile's packet body (convenience for single-tile streams).
+func Decode(data []byte) (*Header, []byte, error) {
+	h, bodies, err := DecodeTiles(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, bodies[0], nil
+}
+
+// DecodeTiles parses a codestream, returning the header and every
+// tile's packet body in tile-index order.
+func DecodeTiles(data []byte) (*Header, [][]byte, error) {
+	rd := &reader{data: data}
+	if m, err := rd.marker(); err != nil || m != SOC {
+		return nil, nil, fmt.Errorf("codestream: missing SOC (got %#x, err %v)", m, err)
+	}
+	h := &Header{}
+	var bodies [][]byte
+	seenSIZ, seenCOD, seenQCD := false, false, false
+	for {
+		m, err := rd.marker()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch m {
+		case SIZ:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p) < 38 {
+				return nil, nil, fmt.Errorf("codestream: SIZ too short")
+			}
+			h.W = int(binary.BigEndian.Uint32(p[2:]))
+			h.H = int(binary.BigEndian.Uint32(p[6:]))
+			h.NComp = int(binary.BigEndian.Uint16(p[34:]))
+			if h.NComp <= 0 || len(p) < 36+3*h.NComp {
+				return nil, nil, fmt.Errorf("codestream: bad SIZ component count")
+			}
+			if h.W <= 0 || h.H <= 0 || h.W > 1<<26 || h.H > 1<<26 {
+				return nil, nil, fmt.Errorf("codestream: implausible image size %dx%d", h.W, h.H)
+			}
+			h.TileW = int(binary.BigEndian.Uint32(p[18:]))
+			h.TileH = int(binary.BigEndian.Uint32(p[22:]))
+			if h.TileW <= 0 || h.TileH <= 0 || h.TileW > h.W || h.TileH > h.H {
+				return nil, nil, fmt.Errorf("codestream: bad tile size %dx%d", h.TileW, h.TileH)
+			}
+			h.Depth = int(p[36]) + 1
+			if h.Depth < 1 || h.Depth > 16 {
+				return nil, nil, fmt.Errorf("codestream: unsupported depth %d", h.Depth)
+			}
+			seenSIZ = true
+		case COD:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p) < 10 {
+				return nil, nil, fmt.Errorf("codestream: COD too short")
+			}
+			h.SOPMarkers = p[0]&0x02 != 0
+			h.Progression = int(p[1])
+			if h.Progression > 1 {
+				return nil, nil, fmt.Errorf("codestream: unsupported progression order %d", h.Progression)
+			}
+			h.Layers = int(binary.BigEndian.Uint16(p[2:]))
+			if h.Layers < 1 || h.Layers > 1024 {
+				return nil, nil, fmt.Errorf("codestream: implausible layer count %d", h.Layers)
+			}
+			h.UseMCT = p[4] == 1
+			h.Levels = int(p[5])
+			if h.Levels > 32 {
+				return nil, nil, fmt.Errorf("codestream: %d decomposition levels out of range", h.Levels)
+			}
+			if p[6] > 10 || p[7] > 10 {
+				return nil, nil, fmt.Errorf("codestream: code block exponent out of range")
+			}
+			h.CBW = 1 << (int(p[6]) + 2)
+			h.CBH = 1 << (int(p[7]) + 2)
+			h.TermAll = p[8]&0x04 != 0
+			h.Lossless = p[9] == 1
+			seenCOD = true
+		case QCD:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, err
+			}
+			if !seenSIZ || !seenCOD {
+				return nil, nil, fmt.Errorf("codestream: QCD before SIZ/COD")
+			}
+			nb := 3*h.Levels + 1
+			if len(p) < 9+h.NComp*nb {
+				return nil, nil, fmt.Errorf("codestream: QCD too short")
+			}
+			h.BaseDelta = math.Float64frombits(binary.BigEndian.Uint64(p[1:]))
+			h.Mb = make([][]int, h.NComp)
+			for c := 0; c < h.NComp; c++ {
+				h.Mb[c] = make([]int, nb)
+				for b := 0; b < nb; b++ {
+					h.Mb[c][b] = int(p[9+c*nb+b])
+				}
+			}
+			seenQCD = true
+		case SOT:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(p) < 8 {
+				return nil, nil, fmt.Errorf("codestream: SOT too short")
+			}
+			psot := int(binary.BigEndian.Uint32(p[2:]))
+			if int(binary.BigEndian.Uint16(p[0:])) != len(bodies) {
+				return nil, nil, fmt.Errorf("codestream: tile parts out of order")
+			}
+			if m, err := rd.marker(); err != nil || m != SOD {
+				return nil, nil, fmt.Errorf("codestream: missing SOD")
+			}
+			bodyLen := psot - 12 - 2
+			if bodyLen < 0 || rd.pos+bodyLen > len(data) {
+				return nil, nil, fmt.Errorf("codestream: tile length %d out of range", psot)
+			}
+			bodies = append(bodies, data[rd.pos:rd.pos+bodyLen])
+			rd.pos += bodyLen
+		case EOC:
+			if !seenSIZ || !seenCOD || !seenQCD || len(bodies) == 0 {
+				return nil, nil, fmt.Errorf("codestream: EOC before required segments")
+			}
+			return h, bodies, nil
+		default:
+			return nil, nil, fmt.Errorf("codestream: unexpected marker %#x", m)
+		}
+	}
+}
+
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) marker() (int, error) {
+	if r.pos+2 > len(r.data) {
+		return 0, fmt.Errorf("codestream: truncated at %d", r.pos)
+	}
+	m := int(r.data[r.pos])<<8 | int(r.data[r.pos+1])
+	r.pos += 2
+	if m>>8 != 0xFF {
+		return 0, fmt.Errorf("codestream: expected marker at %d, got %#x", r.pos-2, m)
+	}
+	return m, nil
+}
+
+func (r *reader) segment() ([]byte, error) {
+	if r.pos+2 > len(r.data) {
+		return nil, fmt.Errorf("codestream: truncated length at %d", r.pos)
+	}
+	l := int(binary.BigEndian.Uint16(r.data[r.pos:]))
+	if l < 2 || r.pos+l > len(r.data) {
+		return nil, fmt.Errorf("codestream: bad segment length %d at %d", l, r.pos)
+	}
+	p := r.data[r.pos+2 : r.pos+l]
+	r.pos += l
+	return p, nil
+}

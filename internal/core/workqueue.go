@@ -1,0 +1,36 @@
+package core
+
+import "j2kcell/internal/sim"
+
+// Virtual-time costs of one work-queue pop. On hardware the SPE claims
+// a block with an atomic DMA sequence (getllar/putllc on the queue
+// line, ~hundreds of cycles to memory); the PPE uses lwarx/stwcx on a
+// cached line. Contention beyond these base costs emerges from the
+// mutex serialization itself.
+const (
+	queuePopSPECycles = 250
+	queuePopPPECycles = 80
+)
+
+// workQueue hands out code block indices under a virtual mutex — the
+// load-balancing mechanism of Section 3.2 (processing time per block is
+// data dependent, so static distribution cannot balance).
+type workQueue struct {
+	mu   sim.Mutex
+	next int
+	n    int // number of jobs
+}
+
+// pop claims the next block index, charging the pop cost inside the
+// critical section. ok is false when the queue is drained.
+func (q *workQueue) pop(p *sim.Proc, cost sim.Time) (int, bool) {
+	p.Lock(&q.mu)
+	p.Delay(cost)
+	i := q.next
+	q.next++
+	p.Unlock(&q.mu)
+	if i >= q.n {
+		return 0, false
+	}
+	return i, true
+}

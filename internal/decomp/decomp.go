@@ -1,0 +1,236 @@
+// Package decomp implements the paper's data decomposition scheme
+// (Section 2, Figure 1) for two-dimensional arrays of 4-byte words.
+//
+// Every row is padded so that it starts cache-line (128-byte) aligned in
+// simulated main memory. The array is then partitioned into column
+// chunks: every chunk except the last has a width that is a multiple of
+// the cache line; all chunks span the full height. Constant-width
+// chunks are distributed to the SPEs and the arbitrary-width remainder
+// chunk is processed by the PPE. An SPE traverses its chunk row by row,
+// so one row of one chunk is the unit of DMA transfer and computation —
+// always aligned, always a line multiple, with a Local Store footprint
+// that is constant regardless of image size.
+package decomp
+
+import (
+	"fmt"
+
+	"j2kcell/internal/cell"
+	"j2kcell/internal/sim"
+)
+
+// WordsPerLine is the number of 4-byte words in one 128-byte cache line.
+const WordsPerLine = cell.CacheLine / 4
+
+// Array is a height×width array of words stored row-major with a
+// stride padded to a whole number of cache lines, at a line-aligned
+// effective address when allocated on a Machine.
+type Array[T cell.Word] struct {
+	Data   []T
+	W, H   int
+	Stride int   // words per row including padding; multiple of 32
+	EA     int64 // effective address of Data[0]; 128-byte aligned
+}
+
+// PadStride rounds a width in words up to a whole number of cache lines.
+func PadStride(w int) int {
+	return (w + WordsPerLine - 1) / WordsPerLine * WordsPerLine
+}
+
+// NewArray allocates a w×h array in m's simulated main memory with
+// padded rows, implementing the row-padding step of the scheme.
+func NewArray[T cell.Word](m *cell.Machine, w, h int) *Array[T] {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("decomp: invalid array size %dx%d", w, h))
+	}
+	stride := PadStride(w)
+	return &Array[T]{
+		Data:   make([]T, stride*h),
+		W:      w,
+		H:      h,
+		Stride: stride,
+		EA:     m.AllocEA(int64(4*stride*h), cell.CacheLine),
+	}
+}
+
+// NewLocalArray allocates an array with padded rows but no simulated
+// address, for use by the sequential reference codec.
+func NewLocalArray[T cell.Word](w, h int) *Array[T] {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("decomp: invalid array size %dx%d", w, h))
+	}
+	stride := PadStride(w)
+	return &Array[T]{Data: make([]T, stride*h), W: w, H: h, Stride: stride}
+}
+
+// Row returns the live row r restricted to the array's width.
+func (a *Array[T]) Row(r int) []T { return a.Data[r*a.Stride : r*a.Stride+a.W] }
+
+// PaddedRow returns the live row r including its padding words.
+func (a *Array[T]) PaddedRow(r int) []T { return a.Data[r*a.Stride : (r+1)*a.Stride] }
+
+// RowEA returns the effective address of row r — always line-aligned.
+func (a *Array[T]) RowEA(r int) int64 { return a.EA + int64(4*r*a.Stride) }
+
+// At returns the element at row r, column c.
+func (a *Array[T]) At(r, c int) T { return a.Data[r*a.Stride+c] }
+
+// Set stores v at row r, column c.
+func (a *Array[T]) Set(r, c int, v T) { a.Data[r*a.Stride+c] = v }
+
+// PPEChunk marks a chunk assigned to the PPE.
+const PPEChunk = -1
+
+// Chunk is one unit of data distribution: columns [X0, X0+W) over the
+// full array height, assigned to processing element PE (an SPE index,
+// or PPEChunk for the remainder chunk).
+type Chunk struct {
+	X0, W int
+	PE    int
+}
+
+// Aligned reports whether the chunk starts and sizes on cache-line
+// boundaries (true for every SPE chunk produced by Partition).
+func (c Chunk) Aligned() bool {
+	return c.X0%WordsPerLine == 0 && c.W%WordsPerLine == 0
+}
+
+// Partition splits a width (in words) into constant-width chunks of
+// chunkW words (a multiple of the cache line) distributed round-robin
+// over nSPE SPEs, plus at most one remainder chunk for the PPE. With
+// nSPE == 0 the whole width goes to the PPE.
+func Partition(width, chunkW, nSPE int) []Chunk {
+	if width <= 0 {
+		panic("decomp: Partition of non-positive width")
+	}
+	if nSPE == 0 {
+		return []Chunk{{X0: 0, W: width, PE: PPEChunk}}
+	}
+	if chunkW <= 0 || chunkW%WordsPerLine != 0 {
+		panic(fmt.Sprintf("decomp: chunk width %d is not a multiple of %d words", chunkW, WordsPerLine))
+	}
+	var chunks []Chunk
+	n := width / chunkW
+	for i := 0; i < n; i++ {
+		chunks = append(chunks, Chunk{X0: i * chunkW, W: chunkW, PE: i % nSPE})
+	}
+	if rem := width - n*chunkW; rem > 0 {
+		chunks = append(chunks, Chunk{X0: n * chunkW, W: rem, PE: PPEChunk})
+	}
+	return chunks
+}
+
+// ChunkWidthFor picks a chunk width (in words) that gives each of the
+// nSPE SPEs roughly equal work while staying a multiple of the cache
+// line, mirroring the paper's tuning of the column-group size. It never
+// returns less than one cache line.
+func ChunkWidthFor(width, nSPE int) int {
+	if nSPE <= 0 {
+		return PadStride(width)
+	}
+	per := width / nSPE
+	cw := per / WordsPerLine * WordsPerLine
+	if cw < WordsPerLine {
+		cw = WordsPerLine
+	}
+	return cw
+}
+
+// ForPE returns the chunks assigned to processing element pe.
+func ForPE(chunks []Chunk, pe int) []Chunk {
+	var out []Chunk
+	for _, c := range chunks {
+		if c.PE == pe {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// StreamRows runs a pixel-wise kernel over every row of chunk ch of src,
+// writing results to the same rows/columns of dst, as an SPE would: one
+// padded-width row segment per DMA get, the kernel, then a DMA put.
+// depth selects the buffering level (1 = no overlap, 2 = double
+// buffering, ...); the Local Store cost is depth×2 row segments
+// regardless of array size — the constant-footprint property of the
+// scheme. cyclesPerElem is charged to the SPE for each processed word.
+//
+// src and dst must have identical geometry (in-place streaming, with
+// dst == src, is allowed).
+func StreamRows[T cell.Word](p *sim.Proc, spe *cell.SPE, src, dst *Array[T], ch Chunk, depth int, cyclesPerElem float64, fn func(row int, buf []T)) {
+	if src.W != dst.W || src.H != dst.H || src.Stride != dst.Stride {
+		panic("decomp: StreamRows geometry mismatch")
+	}
+	if !ch.Aligned() {
+		panic("decomp: StreamRows requires an aligned chunk; the PPE handles the remainder")
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	w := ch.W
+	in := make([][]T, depth)
+	out := make([][]T, depth)
+	inLSA := make([]int64, depth)
+	outLSA := make([]int64, depth)
+	for i := 0; i < depth; i++ {
+		in[i], inLSA[i] = cell.AllocLS[T](spe.LS, w)
+		out[i], outLSA[i] = cell.AllocLS[T](spe.LS, w)
+	}
+	gets := make([]*sim.Completion, depth)
+	puts := make([]*sim.Completion, depth)
+
+	srcSeg := func(r int) ([]T, int64) {
+		off := r*src.Stride + ch.X0
+		return src.Data[off : off+w], src.EA + int64(4*off)
+	}
+	dstSeg := func(r int) ([]T, int64) {
+		off := r*dst.Stride + ch.X0
+		return dst.Data[off : off+w], dst.EA + int64(4*off)
+	}
+
+	prefetch := func(r int) {
+		b := r % depth
+		if puts[b] != nil {
+			p.WaitFor(puts[b]) // buffer still being written back
+		}
+		seg, ea := srcSeg(r)
+		gets[b] = cell.GetAsync(p, spe, in[b], inLSA[b], seg, ea)
+	}
+
+	for r := 0; r < depth && r < src.H; r++ {
+		prefetch(r)
+	}
+	for r := 0; r < src.H; r++ {
+		b := r % depth
+		p.WaitFor(gets[b])
+		copy(out[b], in[b])
+		fn(r, out[b])
+		spe.Compute(p, cell.Cycles(cyclesPerElem, w))
+		seg, ea := dstSeg(r)
+		puts[b] = cell.PutAsync(p, spe, seg, ea, out[b], outLSA[b])
+		if r+depth < src.H {
+			prefetch(r + depth)
+		}
+	}
+	spe.WaitAll(p)
+}
+
+// PPERows runs the same pixel-wise kernel over a (remainder) chunk on
+// the PPE: direct cached access, cost charged per element, traffic
+// streamed through the shared memory interface.
+func PPERows[T cell.Word](p *sim.Proc, ppe *cell.PPE, src, dst *Array[T], ch Chunk, cyclesPerElem float64, fn func(row int, buf []T)) {
+	if src.W != dst.W || src.H != dst.H || src.Stride != dst.Stride {
+		panic("decomp: PPERows geometry mismatch")
+	}
+	tmp := make([]T, ch.W)
+	for r := 0; r < src.H; r++ {
+		off := r*src.Stride + ch.X0
+		copy(tmp, src.Data[off:off+ch.W])
+		fn(r, tmp)
+		copy(dst.Data[r*dst.Stride+ch.X0:], tmp)
+	}
+	// Charge time once for the whole walk: read + write traffic and
+	// per-element compute.
+	ppe.Touch(p, int64(8*ch.W*src.H))
+	ppe.Compute(p, cell.Cycles(cyclesPerElem, ch.W*src.H))
+}

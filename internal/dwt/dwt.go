@@ -1,0 +1,170 @@
+// Package dwt implements the JPEG2000 discrete wavelet transforms:
+// the reversible 5/3 integer lifting transform (lossless path), the
+// irreversible 9/7 floating-point lifting transform (lossy path), a
+// JasPer-style fixed-point 9/7 variant, and a convolution-based 9/7
+// baseline (used by the Muta et al. comparison encoder).
+//
+// Vertical filtering is formulated row-wise, exactly as in the paper's
+// Algorithms 1 and 2: a "sample" in the lifting recurrence is an entire
+// image row, so the column-major walk that ruins cache behaviour never
+// happens. Each vertical transform exists in two bit-identical
+// variants: the naive three-pass form (split, lift, lift — Algorithm 1
+// plus an explicit splitting pass) and the fused single-pass form that
+// interleaves the lifting steps and merges the split into them using a
+// half-height auxiliary buffer (Algorithm 2 + Figure 3; six passes
+// fused to one in the 9/7 case, following Kutil's single-loop scheme).
+// The fused forms are what the SPE kernels stream, cutting DMA traffic
+// by 3x (5/3) and 6x (9/7).
+//
+// Boundary handling is whole-sample symmetric extension per ITU-T
+// T.800, which for the supports used here reduces to clamping the
+// intermediate-array indices to [0, len-1].
+package dwt
+
+import "fmt"
+
+// Orientation of a subband.
+type Orient int
+
+// Subband orientations.
+const (
+	LL Orient = iota // low horizontal, low vertical
+	HL               // high horizontal, low vertical
+	LH               // low horizontal, high vertical
+	HH               // high both
+)
+
+// String returns the conventional subband name.
+func (o Orient) String() string {
+	switch o {
+	case LL:
+		return "LL"
+	case HL:
+		return "HL"
+	case LH:
+		return "LH"
+	case HH:
+		return "HH"
+	}
+	return fmt.Sprintf("Orient(%d)", int(o))
+}
+
+// Band describes one subband's placement inside the deinterleaved
+// transform plane. Level is the decomposition level (1 = finest).
+type Band struct {
+	Level  int
+	Orient Orient
+	X0, Y0 int
+	W, H   int
+}
+
+// levelDim halves a dimension l times, rounding up (tile origin 0).
+func levelDim(n, l int) int {
+	for ; l > 0; l-- {
+		n = (n + 1) / 2
+	}
+	return n
+}
+
+// Layout returns the subbands of a w×h plane after `levels`
+// decompositions, ordered from the coarsest resolution outwards:
+// LL_levels, then for l = levels..1: HL_l, LH_l, HH_l. This is the
+// packet order for an LRCP progression. Empty bands (zero area) are
+// included with W or H zero so callers can skip them explicitly.
+func Layout(w, h, levels int) []Band {
+	if levels < 0 {
+		panic("dwt: negative levels")
+	}
+	bands := []Band{{Level: levels, Orient: LL, W: levelDim(w, levels), H: levelDim(h, levels)}}
+	for l := levels; l >= 1; l-- {
+		lw, lh := levelDim(w, l), levelDim(h, l)     // low sizes at this level
+		pw, ph := levelDim(w, l-1), levelDim(h, l-1) // parent sizes
+		hw, hh := pw-lw, ph-lh                       // high sizes
+		bands = append(bands,
+			Band{Level: l, Orient: HL, X0: lw, Y0: 0, W: hw, H: lh},
+			Band{Level: l, Orient: LH, X0: 0, Y0: lh, W: lw, H: hh},
+			Band{Level: l, Orient: HH, X0: lw, Y0: lh, W: hw, H: hh},
+		)
+	}
+	return bands
+}
+
+// MaxLevels returns the deepest useful decomposition for a w×h plane:
+// transforming stops paying off once both dimensions reach 1.
+func MaxLevels(w, h int) int {
+	l := 0
+	for w > 1 || h > 1 {
+		w, h = (w+1)/2, (h+1)/2
+		l++
+	}
+	return l
+}
+
+// Forward53 applies `levels` reversible 5/3 decompositions in place to
+// the w×h region of data (row stride given), producing the standard
+// deinterleaved layout with LL at the top-left. Vertical filtering
+// runs first, matching the paper's pipeline.
+func Forward53(data []int32, w, h, stride, levels int) {
+	aux := make([]int32, ((h+1)/2)*w)
+	for l := 0; l < levels; l++ {
+		lw, lh := levelDim(w, l), levelDim(h, l)
+		if lw <= 1 && lh <= 1 {
+			break
+		}
+		Vertical53Fused(data, lw, lh, stride, aux)
+		horizontal53(data, lw, lh, stride, false)
+	}
+}
+
+// Inverse53 exactly reverses Forward53.
+func Inverse53(data []int32, w, h, stride, levels int) {
+	InverseLevels53(data, w, h, stride, levels, 0)
+}
+
+// InverseLevels53 undoes only the coarsest decomposition levels,
+// levels-1 down to stop. With stop > 0 the finest `stop` levels stay
+// transformed, so the top-left levelDim(w, stop) × levelDim(h, stop)
+// region afterwards holds the image at reduced resolution — the basis
+// of resolution-progressive decoding.
+func InverseLevels53(data []int32, w, h, stride, levels, stop int) {
+	aux := make([]int32, ((h+1)/2)*w)
+	for l := levels - 1; l >= stop; l-- {
+		lw, lh := levelDim(w, l), levelDim(h, l)
+		if lw <= 1 && lh <= 1 {
+			continue
+		}
+		horizontal53(data, lw, lh, stride, true)
+		inverseVertical53(data, lw, lh, stride, aux)
+	}
+}
+
+// Forward97 applies `levels` irreversible 9/7 decompositions in place.
+func Forward97(data []float32, w, h, stride, levels int) {
+	aux := make([]float32, ((h+1)/2)*w)
+	for l := 0; l < levels; l++ {
+		lw, lh := levelDim(w, l), levelDim(h, l)
+		if lw <= 1 && lh <= 1 {
+			break
+		}
+		Vertical97Fused(data, lw, lh, stride, aux)
+		horizontal97(data, lw, lh, stride, false)
+	}
+}
+
+// Inverse97 reverses Forward97 (to floating-point rounding).
+func Inverse97(data []float32, w, h, stride, levels int) {
+	InverseLevels97(data, w, h, stride, levels, 0)
+}
+
+// InverseLevels97 is the irreversible analogue of InverseLevels53.
+func InverseLevels97(data []float32, w, h, stride, levels, stop int) {
+	aux := make([]float32, ((h+1)/2)*w)
+	for l := levels - 1; l >= stop; l-- {
+		lw, lh := levelDim(w, l), levelDim(h, l)
+		if lw <= 1 && lh <= 1 {
+			continue
+		}
+		horizontal97(data, lw, lh, stride, true)
+		inverseVertical97(data, lw, lh, stride, aux)
+	}
+}

@@ -1,0 +1,173 @@
+package dwt
+
+import (
+	"math"
+	"sync"
+)
+
+// Subband synthesis L2 gains. Rate control weighs the distortion
+// contribution of a coefficient error by the L2 norm of that
+// coefficient's synthesis basis vector; quantization step sizes divide
+// by the same norms. Rather than hard-coding the usual tables, the
+// norms are measured numerically: place a unit coefficient in the
+// middle of a subband of a sufficiently large plane, run a linearized
+// float64 inverse transform (the 5/3 without its floor rounding, and
+// the 9/7 as-is), and take the L2 norm of the reconstruction.
+
+// Filter selects the wavelet for gain computation.
+type Filter int
+
+// Supported filters.
+const (
+	W53 Filter = iota
+	W97
+)
+
+type gainKey struct {
+	f      Filter
+	levels int
+}
+
+var (
+	gainMu    sync.Mutex
+	gainCache = map[gainKey]map[Orient][]float64{}
+)
+
+// BandGain returns the synthesis L2 norm for a subband of the given
+// orientation at the given level under `levels` total decompositions.
+// For orientation LL only level == levels is meaningful.
+func BandGain(f Filter, levels int, o Orient, level int) float64 {
+	gainMu.Lock()
+	defer gainMu.Unlock()
+	key := gainKey{f, levels}
+	g, ok := gainCache[key]
+	if !ok {
+		g = computeGains(f, levels)
+		gainCache[key] = g
+	}
+	return g[o][level]
+}
+
+// computeGains measures norms on a plane just large enough that the
+// deepest band still has an interior coefficient.
+func computeGains(f Filter, levels int) map[Orient][]float64 {
+	n := 32 << levels
+	out := map[Orient][]float64{
+		LL: make([]float64, levels+1),
+		HL: make([]float64, levels+1),
+		LH: make([]float64, levels+1),
+		HH: make([]float64, levels+1),
+	}
+	data := make([]float64, n*n)
+	measure := func(x0, y0, w, h int) float64 {
+		for i := range data {
+			data[i] = 0
+		}
+		data[(y0+h/2)*n+(x0+w/2)] = 1
+		inverseLinear(f, data, n, n, n, levels)
+		var ss float64
+		for _, v := range data {
+			ss += v * v
+		}
+		return math.Sqrt(ss)
+	}
+	for _, b := range Layout(n, n, levels) {
+		out[b.Orient][b.Level] = measure(b.X0, b.Y0, b.W, b.H)
+	}
+	return out
+}
+
+// inverseLinear runs a float64 inverse transform without integer
+// rounding — the linear system whose basis norms we want.
+func inverseLinear(f Filter, data []float64, w, h, stride, levels int) {
+	maxd := w
+	if h > maxd {
+		maxd = h
+	}
+	tmp := make([]float64, maxd)
+	col := make([]float64, maxd)
+	for l := levels - 1; l >= 0; l-- {
+		lw, lh := levelDim(w, l), levelDim(h, l)
+		if lw <= 1 && lh <= 1 {
+			continue
+		}
+		if lw > 1 {
+			for r := 0; r < lh; r++ {
+				invLine64(f, data[r*stride:r*stride+lw], tmp)
+			}
+		}
+		if lh > 1 {
+			for c := 0; c < lw; c++ {
+				for r := 0; r < lh; r++ {
+					col[r] = data[r*stride+c]
+				}
+				invLine64(f, col[:lh], tmp)
+				for r := 0; r < lh; r++ {
+					data[r*stride+c] = col[r]
+				}
+			}
+		}
+	}
+}
+
+// invLine64 is the 1-D inverse in float64: exact lifting inverses with
+// the 5/3 floors replaced by their linear counterparts.
+func invLine64(f Filter, x []float64, tmp []float64) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	nl, nh := (n+1)/2, n/2
+	low, high := tmp[:nl], tmp[nl:n]
+	copy(low, x[:nl])
+	copy(high, x[nl:n])
+	cd := func(k int) float64 {
+		if k < 0 {
+			k = 0
+		}
+		if k > nh-1 {
+			k = nh - 1
+		}
+		return high[k]
+	}
+	ce := func(k int) float64 {
+		if k > nl-1 {
+			k = nl - 1
+		}
+		return low[k]
+	}
+	switch f {
+	case W53:
+		for k := 0; k < nl; k++ {
+			low[k] -= (cd(k-1) + cd(k)) / 4
+		}
+		for k := 0; k < nh; k++ {
+			high[k] += (ce(k) + ce(k+1)) / 2
+		}
+	case W97:
+		for k := range low {
+			low[k] *= K97
+		}
+		for k := range high {
+			high[k] *= InvK97
+		}
+		for k := 0; k < nl; k++ {
+			low[k] -= Delta97 * (cd(k-1) + cd(k))
+		}
+		for k := 0; k < nh; k++ {
+			high[k] -= Gamma97 * (ce(k) + ce(k+1))
+		}
+		for k := 0; k < nl; k++ {
+			low[k] -= Beta97 * (cd(k-1) + cd(k))
+		}
+		for k := 0; k < nh; k++ {
+			high[k] -= Alpha97 * (ce(k) + ce(k+1))
+		}
+	}
+	for k := 0; k < nl; k++ {
+		x[2*k] = low[k]
+	}
+	for k := 0; k < nh; k++ {
+		x[2*k+1] = high[k]
+	}
+}

@@ -1,0 +1,258 @@
+package dwt
+
+// Row-vector lifting primitives for the reversible 5/3 transform. Each
+// treats whole rows as the "samples" of the lifting recurrence; the SPE
+// kernels in internal/core reuse these on Local Store buffers so the
+// parallel encoder is arithmetic-identical to this reference.
+
+// Lift53High applies d[i] -= (e0[i] + e1[i]) >> 1 (first lifting step).
+func Lift53High(d, e0, e1 []int32) {
+	for i := range d {
+		d[i] -= (e0[i] + e1[i]) >> 1
+	}
+}
+
+// Lift53Low applies s[i] += (d0[i] + d1[i] + 2) >> 2 (second step).
+func Lift53Low(s, d0, d1 []int32) {
+	for i := range s {
+		s[i] += (d0[i] + d1[i] + 2) >> 2
+	}
+}
+
+// Unlift53Low reverses Lift53Low.
+func Unlift53Low(s, d0, d1 []int32) {
+	for i := range s {
+		s[i] -= (d0[i] + d1[i] + 2) >> 2
+	}
+}
+
+// Unlift53High reverses Lift53High.
+func Unlift53High(d, e0, e1 []int32) {
+	for i := range d {
+		d[i] += (e0[i] + e1[i]) >> 1
+	}
+}
+
+// Fused53Step computes one step of the merged split+interleaved-lifting
+// sweep (the body of the paper's Algorithm 2 with the splitting step
+// folded in): given interleaved rows e0 = x[2k], o = x[2k+1], e1 =
+// x[2k+2] (already boundary-clamped) and the previous high row dPrev
+// (= d for k == 0), it writes d[i] = o[i] - ((e0[i]+e1[i])>>1) into d
+// and s[i] = e0[i] + ((dPrev[i]+d[i]+2)>>2) into s. s may alias e0.
+// The SPE kernels stream exactly this step, so the parallel encoder is
+// arithmetic-identical to the sequential one.
+func Fused53Step(d, s, e0, o, e1, dPrev []int32) {
+	for i := range d {
+		d[i] = o[i] - ((e0[i] + e1[i]) >> 1)
+	}
+	for i := range s {
+		s[i] = e0[i] + ((dPrev[i] + d[i] + 2) >> 2)
+	}
+}
+
+// Vertical53Naive performs vertical 5/3 analysis on the w×h region the
+// obvious way: an explicit splitting pass that deinterleaves even and
+// odd rows (via the aux buffer), then the two lifting passes of the
+// paper's Algorithm 1. Three full sweeps over the data — the form whose
+// DMA traffic the fused variant cuts to one sweep.
+// aux must hold at least ((h+1)/2)*w words.
+func Vertical53Naive(data []int32, w, h, stride int, aux []int32) {
+	if h <= 1 {
+		return
+	}
+	nl, nh := (h+1)/2, h/2
+	row := func(i int) []int32 { return data[i*stride : i*stride+w] }
+	auxRow := func(k int) []int32 { return aux[k*w : (k+1)*w] }
+
+	// Splitting pass: odd rows to aux, even rows compacted to the top,
+	// aux copied to the bottom half.
+	for k := 0; k < nh; k++ {
+		copy(auxRow(k), row(2*k+1))
+	}
+	for k := 1; k < nl; k++ {
+		copy(row(k), row(2*k))
+	}
+	for k := 0; k < nh; k++ {
+		copy(row(nl+k), auxRow(k))
+	}
+	// First lifting pass (Algorithm 1, step 1).
+	for k := 0; k < nh; k++ {
+		e1 := k + 1
+		if e1 > nl-1 {
+			e1 = nl - 1
+		}
+		Lift53High(row(nl+k), row(k), row(e1))
+	}
+	// Second lifting pass (Algorithm 1, step 2).
+	for k := 0; k < nl; k++ {
+		d0, d1 := k-1, k
+		if d0 < 0 {
+			d0 = 0
+		}
+		if d1 > nh-1 {
+			d1 = nh - 1
+		}
+		Lift53Low(row(k), row(nl+d0), row(nl+d1))
+	}
+}
+
+// Vertical53Fused performs the same vertical analysis in a single sweep
+// over the data: the splitting step is merged into the interleaved
+// lifting loop (Algorithm 2 + Figure 3). High-pass rows are written to
+// the auxiliary buffer first — updating them in place would overwrite
+// interleaved input rows before they are read — and copied into the
+// bottom half afterwards, so the extra traffic is only half the data.
+// Bit-identical to Vertical53Naive.
+func Vertical53Fused(data []int32, w, h, stride int, aux []int32) {
+	if h <= 1 {
+		return
+	}
+	nl, nh := (h+1)/2, h/2
+	row := func(i int) []int32 { return data[i*stride : i*stride+w] }
+	auxRow := func(k int) []int32 { return aux[k*w : (k+1)*w] }
+
+	for k := 0; k < nh; k++ {
+		e0 := row(2 * k)
+		o := row(2*k + 1)
+		e1 := e0 // mirror x[h] -> x[h-2] when 2k+2 == h
+		if 2*k+2 < h {
+			e1 = row(2*k + 2)
+		}
+		dPrev := auxRow(k) // d[-1] clamps to d[0]
+		if k > 0 {
+			dPrev = auxRow(k - 1)
+		}
+		Fused53Step(auxRow(k), row(k), e0, o, e1, dPrev)
+	}
+	if nl > nh { // odd height: final low row, d clamps to d[nh-1]
+		Fused53Tail(row(nl-1), row(h-1), auxRow(nh-1))
+	}
+	for k := 0; k < nh; k++ {
+		copy(row(nl+k), auxRow(k))
+	}
+}
+
+// Fused53Tail computes the final low row of an odd-height sweep:
+// s[i] = e0[i] + ((2*d[i]+2)>>2), the d index clamped to the last high
+// row. s may alias e0.
+func Fused53Tail(s, e0, d []int32) {
+	for i := range s {
+		s[i] = e0[i] + ((2*d[i] + 2) >> 2)
+	}
+}
+
+// inverseVertical53 exactly reverses the vertical analysis: un-lift the
+// low rows, un-lift the high rows, then re-interleave via aux.
+func inverseVertical53(data []int32, w, h, stride int, aux []int32) {
+	if h <= 1 {
+		return
+	}
+	nl, nh := (h+1)/2, h/2
+	row := func(i int) []int32 { return data[i*stride : i*stride+w] }
+	auxRow := func(k int) []int32 { return aux[k*w : (k+1)*w] }
+
+	for k := 0; k < nl; k++ {
+		d0, d1 := k-1, k
+		if d0 < 0 {
+			d0 = 0
+		}
+		if d1 > nh-1 {
+			d1 = nh - 1
+		}
+		Unlift53Low(row(k), row(nl+d0), row(nl+d1))
+	}
+	for k := 0; k < nh; k++ {
+		e1 := k + 1
+		if e1 > nl-1 {
+			e1 = nl - 1
+		}
+		Unlift53High(row(nl+k), row(k), row(e1))
+	}
+	// Interleave back: evens spread out from the top (descending so no
+	// overwrite), odds restored from aux.
+	for k := 0; k < nh; k++ {
+		copy(auxRow(k), row(nl+k))
+	}
+	for k := nl - 1; k >= 1; k-- {
+		copy(row(2*k), row(k))
+	}
+	for k := 0; k < nh; k++ {
+		copy(row(2*k+1), auxRow(k))
+	}
+}
+
+// Fwd53Line performs 1-D 5/3 analysis on x (any length), writing the
+// deinterleaved result (lows then highs) back through scratch tmp,
+// which must be at least len(x) long. This is the horizontal filter
+// applied to one image row.
+func Fwd53Line(x []int32, tmp []int32) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	nl, nh := (n+1)/2, n/2
+	low, high := tmp[:nl], tmp[nl:n]
+	for k := 0; k < nh; k++ {
+		e2 := 2*k + 2
+		if e2 > n-1 {
+			e2 = n - 2 // mirror
+		}
+		high[k] = x[2*k+1] - ((x[2*k] + x[e2]) >> 1)
+	}
+	for k := 0; k < nl; k++ {
+		d0, d1 := k-1, k
+		if d0 < 0 {
+			d0 = 0
+		}
+		if d1 > nh-1 {
+			d1 = nh - 1
+		}
+		low[k] = x[2*k] + ((high[d0] + high[d1] + 2) >> 2)
+	}
+	copy(x, tmp[:n])
+}
+
+// Inv53Line reverses Fwd53Line.
+func Inv53Line(x []int32, tmp []int32) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	nl, nh := (n+1)/2, n/2
+	low, high := x[:nl], x[nl:n]
+	for k := 0; k < nl; k++ {
+		d0, d1 := k-1, k
+		if d0 < 0 {
+			d0 = 0
+		}
+		if d1 > nh-1 {
+			d1 = nh - 1
+		}
+		tmp[2*k] = low[k] - ((high[d0] + high[d1] + 2) >> 2)
+	}
+	for k := 0; k < nh; k++ {
+		e2 := 2*k + 2
+		if e2 > n-1 {
+			e2 = n - 2
+		}
+		tmp[2*k+1] = high[k] + ((tmp[2*k] + tmp[e2]) >> 1)
+	}
+	copy(x, tmp[:n])
+}
+
+// horizontal53 runs the 1-D 5/3 filter (or its inverse) over every row
+// of the region.
+func horizontal53(data []int32, w, h, stride int, inverse bool) {
+	if w <= 1 {
+		return
+	}
+	tmp := make([]int32, w)
+	for r := 0; r < h; r++ {
+		row := data[r*stride : r*stride+w]
+		if inverse {
+			Inv53Line(row, tmp)
+		} else {
+			Fwd53Line(row, tmp)
+		}
+	}
+}

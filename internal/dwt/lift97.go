@@ -1,0 +1,377 @@
+package dwt
+
+// Irreversible 9/7 lifting (Cohen–Daubechies–Feauveau) per ITU-T T.800:
+// four lifting steps and a scaling step. With the constants below a
+// constant signal lands entirely in the (unit-gain) low band and a
+// Nyquist signal entirely in the high band with gain 2, matching the
+// 5/3 normalization so Tier-1 treats both filters uniformly.
+const (
+	Alpha97 = -1.586134342059924
+	Beta97  = -0.052980118572961
+	Gamma97 = 0.882911075530934
+	Delta97 = 0.443506852043971
+	K97     = 1.230174104914001
+	InvK97  = 1 / K97
+)
+
+// Lift97 applies d[i] += c * (e0[i] + e1[i]) — one lifting step over
+// row vectors.
+func Lift97(d, e0, e1 []float32, c float32) {
+	for i := range d {
+		d[i] += c * (e0[i] + e1[i])
+	}
+}
+
+// Scale97 multiplies a row by k.
+func Scale97(r []float32, k float32) {
+	for i := range r {
+		r[i] *= k
+	}
+}
+
+// Vertical97Naive performs vertical 9/7 analysis as six sweeps over the
+// region: split, four lifting passes, scaling — the unfused structure
+// whose DMA cost motivates the paper's (and Kutil's) loop fusion.
+// aux must hold ((h+1)/2)*w words.
+func Vertical97Naive(data []float32, w, h, stride int, aux []float32) {
+	if h <= 1 {
+		return
+	}
+	nl, nh := (h+1)/2, h/2
+	row := func(i int) []float32 { return data[i*stride : i*stride+w] }
+	auxRow := func(k int) []float32 { return aux[k*w : (k+1)*w] }
+
+	// Split.
+	for k := 0; k < nh; k++ {
+		copy(auxRow(k), row(2*k+1))
+	}
+	for k := 1; k < nl; k++ {
+		copy(row(k), row(2*k))
+	}
+	for k := 0; k < nh; k++ {
+		copy(row(nl+k), auxRow(k))
+	}
+	clampE := func(k int) []float32 {
+		if k > nl-1 {
+			k = nl - 1
+		}
+		return row(k)
+	}
+	clampD := func(k int) []float32 {
+		if k < 0 {
+			k = 0
+		}
+		if k > nh-1 {
+			k = nh - 1
+		}
+		return row(nl + k)
+	}
+	// Four lifting passes.
+	for k := 0; k < nh; k++ {
+		Lift97(row(nl+k), row(k), clampE(k+1), float32(Alpha97))
+	}
+	for k := 0; k < nl; k++ {
+		Lift97(row(k), clampD(k-1), clampD(k), float32(Beta97))
+	}
+	for k := 0; k < nh; k++ {
+		Lift97(row(nl+k), row(k), clampE(k+1), float32(Gamma97))
+	}
+	for k := 0; k < nl; k++ {
+		Lift97(row(k), clampD(k-1), clampD(k), float32(Delta97))
+	}
+	// Scaling pass.
+	for k := 0; k < nl; k++ {
+		Scale97(row(k), float32(InvK97))
+	}
+	for k := 0; k < nh; k++ {
+		Scale97(row(nl+k), float32(K97))
+	}
+}
+
+// Vertical97Fused performs the same analysis in a single sweep,
+// pipelining the four lifting steps (Kutil's single-loop scheme) with
+// the split merged in and the scaling folded into the final writes:
+// six passes over the data become one, plus half-size aux traffic for
+// the high rows. Bit-identical to Vertical97Naive because every row
+// sees the same operations in the same order.
+func Vertical97Fused(data []float32, w, h, stride int, aux []float32) {
+	if h <= 1 {
+		return
+	}
+	nl, nh := (h+1)/2, h/2
+	row := func(i int) []float32 { return data[i*stride : i*stride+w] }
+	auxRow := func(k int) []float32 { return aux[k*w : (k+1)*w] }
+
+	// Stage values live where their final homes are: d1/d2 rows in aux,
+	// e1/e2 rows at the top of the plane. Input rows x[i] are consumed
+	// strictly before their slots are overwritten (writes at step k
+	// touch row k-1 and aux; reads reach rows 2k..2k+2).
+	step1 := func(k int) {
+		e1 := row(2 * k)
+		if 2*k+2 < h {
+			e1 = row(2*k + 2)
+		}
+		Fused97Step1(auxRow(k), row(2*k), row(2*k+1), e1)
+	}
+	step2 := func(k int) {
+		d0 := k - 1
+		if d0 < 0 {
+			d0 = 0
+		}
+		Fused97Step2(row(k), row(2*k), auxRow(d0), auxRow(k))
+	}
+	step3 := func(k int) {
+		e1i := k + 1
+		if e1i > nl-1 {
+			e1i = nl - 1
+		}
+		Lift97(auxRow(k), row(k), row(e1i), float32(Gamma97))
+	}
+	step4 := func(k int) {
+		d0 := k - 1
+		if d0 < 0 {
+			d0 = 0
+		}
+		Fused97Step4(row(k), auxRow(d0), auxRow(k))
+	}
+
+	for k := 0; k < nh; k++ {
+		step1(k)
+		step2(k)
+		if k > 0 {
+			step3(k - 1)
+		}
+		if k > 1 {
+			step4(k - 2)
+		}
+	}
+	if nl > nh {
+		Fused97Step2Tail(row(nl-1), row(h-1), auxRow(nh-1))
+	}
+	step3(nh - 1)
+	if nh >= 2 {
+		step4(nh - 2)
+	}
+	step4(nh - 1)
+	if nl > nh {
+		Fused97Step4Tail(row(nl-1), auxRow(nh-1))
+	}
+	// Deliver high rows with their scaling.
+	for k := 0; k < nh; k++ {
+		Fused97ScaleHigh(row(nl+k), auxRow(k))
+	}
+}
+
+// The exported Fused97Step* functions are the row operations of the
+// single-loop 9/7 sweep; the SPE kernels in internal/core stream these
+// exact expressions over Local Store buffers, which is what keeps the
+// parallel encoder bit-identical to Vertical97Fused.
+
+// Fused97Step1 computes d1 = o + α(e0 + e1).
+func Fused97Step1(d, e0, o, e1 []float32) {
+	for i := range d {
+		d[i] = o[i] + float32(Alpha97)*(e0[i]+e1[i])
+	}
+}
+
+// Fused97Step2 computes e1 = e0 + β(dPrev + dCur). s may alias e0.
+func Fused97Step2(s, e0, dPrev, dCur []float32) {
+	for i := range s {
+		s[i] = e0[i] + float32(Beta97)*(dPrev[i]+dCur[i])
+	}
+}
+
+// Fused97Step2Tail computes the odd-height tail e1 = e0 + 2β·d.
+func Fused97Step2Tail(s, e0, d []float32) {
+	for i := range s {
+		s[i] = e0[i] + float32(Beta97)*2*d[i]
+	}
+}
+
+// Fused97Step4 computes e2 = (e1 + δ(dPrev + dCur)) / K in place.
+func Fused97Step4(s, dPrev, dCur []float32) {
+	for i := range s {
+		s[i] = (s[i] + float32(Delta97)*(dPrev[i]+dCur[i])) * float32(InvK97)
+	}
+}
+
+// Fused97Step4Tail computes the odd-height tail e2 = (e1 + 2δ·d) / K.
+func Fused97Step4Tail(s, d []float32) {
+	for i := range s {
+		s[i] = (s[i] + float32(Delta97)*2*d[i]) * float32(InvK97)
+	}
+}
+
+// Fused97ScaleHigh delivers a high row with its K scaling: out = d·K.
+func Fused97ScaleHigh(out, d []float32) {
+	for i := range out {
+		out[i] = d[i] * float32(K97)
+	}
+}
+
+// inverseVertical97 reverses the vertical 9/7 analysis.
+func inverseVertical97(data []float32, w, h, stride int, aux []float32) {
+	if h <= 1 {
+		return
+	}
+	nl, nh := (h+1)/2, h/2
+	row := func(i int) []float32 { return data[i*stride : i*stride+w] }
+	auxRow := func(k int) []float32 { return aux[k*w : (k+1)*w] }
+
+	clampE := func(k int) []float32 {
+		if k > nl-1 {
+			k = nl - 1
+		}
+		return row(k)
+	}
+	clampD := func(k int) []float32 {
+		if k < 0 {
+			k = 0
+		}
+		if k > nh-1 {
+			k = nh - 1
+		}
+		return row(nl + k)
+	}
+	for k := 0; k < nl; k++ {
+		Scale97(row(k), float32(K97))
+	}
+	for k := 0; k < nh; k++ {
+		Scale97(row(nl+k), float32(InvK97))
+	}
+	for k := 0; k < nl; k++ {
+		Lift97(row(k), clampD(k-1), clampD(k), -float32(Delta97))
+	}
+	for k := 0; k < nh; k++ {
+		Lift97(row(nl+k), row(k), clampE(k+1), -float32(Gamma97))
+	}
+	for k := 0; k < nl; k++ {
+		Lift97(row(k), clampD(k-1), clampD(k), -float32(Beta97))
+	}
+	for k := 0; k < nh; k++ {
+		Lift97(row(nl+k), row(k), clampE(k+1), -float32(Alpha97))
+	}
+	// Interleave back.
+	for k := 0; k < nh; k++ {
+		copy(auxRow(k), row(nl+k))
+	}
+	for k := nl - 1; k >= 1; k-- {
+		copy(row(2*k), row(k))
+	}
+	for k := 0; k < nh; k++ {
+		copy(row(2*k+1), auxRow(k))
+	}
+}
+
+// Fwd97Line performs 1-D 9/7 analysis on x, deinterleaving through tmp
+// (len(tmp) >= len(x)).
+func Fwd97Line(x []float32, tmp []float32) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	nl, nh := (n+1)/2, n/2
+	low, high := tmp[:nl], tmp[nl:n]
+	for k := 0; k < nh; k++ {
+		e2 := 2*k + 2
+		if e2 > n-1 {
+			e2 = n - 2
+		}
+		high[k] = x[2*k+1] + float32(Alpha97)*(x[2*k]+x[e2])
+	}
+	cd := func(k int) float32 {
+		if k < 0 {
+			k = 0
+		}
+		if k > nh-1 {
+			k = nh - 1
+		}
+		return high[k]
+	}
+	for k := 0; k < nl; k++ {
+		low[k] = x[2*k] + float32(Beta97)*(cd(k-1)+cd(k))
+	}
+	ce := func(k int) float32 {
+		if k > nl-1 {
+			k = nl - 1
+		}
+		return low[k]
+	}
+	for k := 0; k < nh; k++ {
+		high[k] += float32(Gamma97) * (ce(k) + ce(k+1))
+	}
+	for k := 0; k < nl; k++ {
+		low[k] = (low[k] + float32(Delta97)*(cd(k-1)+cd(k))) * float32(InvK97)
+	}
+	for k := 0; k < nh; k++ {
+		high[k] *= float32(K97)
+	}
+	copy(x, tmp[:n])
+}
+
+// Inv97Line reverses Fwd97Line.
+func Inv97Line(x []float32, tmp []float32) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	nl, nh := (n+1)/2, n/2
+	low, high := tmp[:nl], tmp[nl:n]
+	copy(low, x[:nl])
+	copy(high, x[nl:n])
+	for k := range low {
+		low[k] *= float32(K97)
+	}
+	for k := range high {
+		high[k] *= float32(InvK97)
+	}
+	cd := func(k int) float32 {
+		if k < 0 {
+			k = 0
+		}
+		if k > nh-1 {
+			k = nh - 1
+		}
+		return high[k]
+	}
+	for k := 0; k < nl; k++ {
+		low[k] -= float32(Delta97) * (cd(k-1) + cd(k))
+	}
+	ce := func(k int) float32 {
+		if k > nl-1 {
+			k = nl - 1
+		}
+		return low[k]
+	}
+	for k := 0; k < nh; k++ {
+		high[k] -= float32(Gamma97) * (ce(k) + ce(k+1))
+	}
+	for k := 0; k < nl; k++ {
+		low[k] -= float32(Beta97) * (cd(k-1) + cd(k))
+	}
+	for k := 0; k < nh; k++ {
+		high[k] -= float32(Alpha97) * (ce(k) + ce(k+1))
+	}
+	for k := 0; k < nl; k++ {
+		x[2*k] = low[k]
+	}
+	for k := 0; k < nh; k++ {
+		x[2*k+1] = high[k]
+	}
+}
+
+// horizontal97 runs the 1-D 9/7 filter (or its inverse) over every row.
+func horizontal97(data []float32, w, h, stride int, inverse bool) {
+	if w <= 1 {
+		return
+	}
+	tmp := make([]float32, w)
+	for r := 0; r < h; r++ {
+		row := data[r*stride : r*stride+w]
+		if inverse {
+			Inv97Line(row, tmp)
+		} else {
+			Fwd97Line(row, tmp)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+
+	"j2kcell/internal/cell"
+	"j2kcell/internal/codec"
+	"j2kcell/internal/core"
+)
+
+// AblateDWTFusion quantifies the loop interleaving + split merging of
+// Section 4: DMA traffic and DWT time, fused vs naive sweeps.
+func AblateDWTFusion(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — interleaved/merged lifting vs separate passes",
+		Note:  "The fused sweep reads each row once; the naive schedule re-streams the column group per lifting pass.",
+		Cols:  []string{"mode", "variant", "dwt (s)", "SPE DMA (MB)", "total (s)"},
+	}
+	img := p.DialImage()
+	for _, mode := range []struct {
+		label string
+		opt   codec.Options
+	}{{"lossless 5/3", losslessOpt()}, {"lossy 9/7", lossyOpt()}} {
+		for _, naive := range []bool{false, true} {
+			cfg := core.DefaultConfig(8, mode.opt)
+			cfg.NaiveDWT = naive
+			res, err := core.Encode(img, cfg)
+			if err != nil {
+				panic(err)
+			}
+			variant := "fused (1 sweep)"
+			if naive {
+				variant = "naive (split+lifts)"
+			}
+			t.AddRow(mode.label, variant,
+				f3(cell.Seconds(res.StageCycles("dwt"))),
+				f1(float64(res.DMABytes)/1e6),
+				f3(cellSeconds(res)))
+		}
+	}
+	return t
+}
+
+// AblateBuffering sweeps the multi-buffering depth the constant Local
+// Store footprint makes affordable (Section 2).
+func AblateBuffering(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — buffering depth (latency hiding)",
+		Cols:  []string{"depth", "total (s)", "dwt (s)", "LS high water (KB)"},
+	}
+	img := p.DialImage()
+	for _, d := range []int{1, 2, 3, 4, 6} {
+		cfg := core.DefaultConfig(8, losslessOpt())
+		cfg.BufferDepth = d
+		res, err := core.Encode(img, cfg)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprint(d), f3(cellSeconds(res)),
+			f3(cell.Seconds(res.StageCycles("dwt"))),
+			fmt.Sprint(res.LSHighWater/1024))
+	}
+	return t
+}
+
+// AblateChunkWidth sweeps the column-group width of the decomposition
+// scheme (the paper tunes it to cache-line multiples).
+func AblateChunkWidth(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — column chunk width (words)",
+		Cols:  []string{"chunk width", "total (s)", "dwt (s)", "DMA cmds"},
+	}
+	img := p.DialImage()
+	for _, cw := range []int{32, 64, 128, 256, 0} {
+		cfg := core.DefaultConfig(8, losslessOpt())
+		cfg.ChunkWidth = cw
+		res, err := core.Encode(img, cfg)
+		if err != nil {
+			panic(err)
+		}
+		label := fmt.Sprint(cw)
+		if cw == 0 {
+			label = "auto"
+		}
+		t.AddRow(label, f3(cellSeconds(res)),
+			f3(cell.Seconds(res.StageCycles("dwt"))),
+			fmt.Sprint(res.DMACmds))
+	}
+	return t
+}
+
+// AblateBlockSize compares the paper's 64x64 code blocks against the
+// Muta design's 32x32 (Section 3.2).
+func AblateBlockSize(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — code block size",
+		Note:  "Smaller blocks shrink Local Store needs but multiply PPE/SPE interactions and shrink MQ context runs.",
+		Cols:  []string{"block", "total (s)", "tier1 (s)", "blocks", "output (KB)"},
+	}
+	img := p.DialImage()
+	for _, cb := range []int{16, 32, 64} {
+		opt := losslessOpt()
+		opt.CBW, opt.CBH = cb, cb
+		res, err := core.Encode(img, core.DefaultConfig(8, opt))
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", cb, cb), f3(cellSeconds(res)),
+			f3(cell.Seconds(res.StageCycles("tier1"))),
+			fmt.Sprint(res.Stats.Blocks),
+			fmt.Sprint(len(res.Data)/1024))
+	}
+	return t
+}
+
+// AblateWorkQueue compares dynamic and static Tier-1 distribution
+// (Section 3.2: block coding time is content dependent).
+func AblateWorkQueue(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — Tier-1 work queue vs static distribution",
+		Cols:  []string{"strategy", "tier1 (s)", "total (s)"},
+	}
+	img := p.DialImage()
+	for _, static := range []bool{false, true} {
+		cfg := core.DefaultConfig(8, losslessOpt())
+		cfg.StaticT1 = static
+		res, err := core.Encode(img, cfg)
+		if err != nil {
+			panic(err)
+		}
+		label := "work queue"
+		if static {
+			label = "static round-robin"
+		}
+		t.AddRow(label, f3(cell.Seconds(res.StageCycles("tier1"))), f3(cellSeconds(res)))
+	}
+	return t
+}
+
+// AblateFixedPoint prices the lossy DWT under JasPer's fixed-point
+// representation vs float on the SPE (the Table 1 consequence).
+func AblateFixedPoint(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — lossy DWT representation on the SPE (1 SPE, compute-bound)",
+		Note:  "Paper Section 4: the SPE has no 32-bit integer multiply, so JasPer's fixed point loses to float. At 8 SPEs the DWT hides behind DMA; one SPE exposes the arithmetic.",
+		Cols:  []string{"representation", "dwt (s)", "total (s)"},
+	}
+	img := p.DialImage()
+	for _, fixed := range []bool{false, true} {
+		cfg := core.DefaultConfig(1, lossyOpt())
+		cfg.FixedPoint97 = fixed
+		res, err := core.Encode(img, cfg)
+		if err != nil {
+			panic(err)
+		}
+		label := "float (ours)"
+		if fixed {
+			label = "fixed point (JasPer)"
+		}
+		t.AddRow(label, f3(cell.Seconds(res.StageCycles("dwt"))), f3(cellSeconds(res)))
+	}
+	return t
+}
+
+// AblateLoopParallel reproduces the Meerwald et al. comparison from the
+// paper's introduction: parallelizing only Tier-1 and the DWT (their
+// OpenMP loop-level port) versus the whole pipeline.
+func AblateLoopParallel(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — whole-pipeline vs loop-level parallelization (Meerwald et al.)",
+		Note:  "Loop-level parallelism leaves level shift, MCT, quantization and I/O sequential, capping speedup.",
+		Cols:  []string{"strategy", "SPEs", "time (s)", "speedup vs 1 SPE"},
+	}
+	img := p.DialImage()
+	for _, loop := range []bool{false, true} {
+		label := "whole pipeline (ours)"
+		if loop {
+			label = "Tier-1 + DWT only (Meerwald)"
+		}
+		var base float64
+		for _, n := range []int{1, 8} {
+			cfg := core.DefaultConfig(n, lossyOpt())
+			cfg.LoopParallel = loop
+			res, err := core.Encode(img, cfg)
+			if err != nil {
+				panic(err)
+			}
+			sec := cellSeconds(res)
+			if n == 1 {
+				base = sec
+			}
+			t.AddRow(label, fmt.Sprint(n), f3(sec), f2(base/sec))
+		}
+	}
+	return t
+}
+
+// AblateNUMA compares the uniform-bandwidth memory approximation used
+// for the paper's figures against the per-chip NUMA model on the
+// dual-chip blade.
+func AblateNUMA(p Params) *Table {
+	t := &Table{
+		Title: "Ablation — QS20 memory model (uniform vs per-chip NUMA)",
+		Note:  "NUMA serves each DMA from the chip owning its lines; remote commands cross the BIF (+100 cycles).",
+		Cols:  []string{"memory model", "total (s)", "dwt (s)"},
+	}
+	img := p.DialImage()
+	for _, numa := range []bool{false, true} {
+		cfg := core.DefaultConfig(16, losslessOpt())
+		cfg.Cell = cellQS20()
+		cfg.Cell.NUMA = numa
+		res, err := core.Encode(img, cfg)
+		if err != nil {
+			panic(err)
+		}
+		label := "uniform (paper figures)"
+		if numa {
+			label = "per-chip NUMA"
+		}
+		t.AddRow(label, f3(cellSeconds(res)), f3(cell.Seconds(res.StageCycles("dwt"))))
+	}
+	return t
+}
+
+func cellQS20() cell.Config { return cell.QS20Config(16, 2) }
+
+// Ablations runs every ablation.
+func Ablations(p Params) []*Table {
+	return []*Table{
+		AblateDWTFusion(p),
+		AblateBuffering(p),
+		AblateChunkWidth(p),
+		AblateBlockSize(p),
+		AblateWorkQueue(p),
+		AblateFixedPoint(p),
+		AblateLoopParallel(p),
+		AblateNUMA(p),
+	}
+}
+
+// AllExperiments runs the full evaluation.
+func AllExperiments(p Params) []*Table {
+	out := []*Table{Table1(), Fig4(p), Fig5(p), Fig6(p), Fig7(p), Fig8(p), Fig9(p)}
+	return append(out, Ablations(p)...)
+}

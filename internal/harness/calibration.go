@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+
+	"j2kcell/internal/cell"
+	"j2kcell/internal/codec"
+	"j2kcell/internal/core"
+	"j2kcell/internal/spu"
+)
+
+// Calibration dumps the cost model with the cross-checks that anchor
+// it: the spu pipeline schedules behind the DWT constants, and the
+// 1-SPE stage shares the per-kernel constants are tuned to produce
+// (DESIGN.md §6). Run via `cellbench -exp calib`.
+func Calibration(p Params) []*Table {
+	consts := &Table{
+		Title: "Calibration — kernel cost constants (cycles per element)",
+		Note:  "SPE constants assume 4-lane SIMD with dual-issue; PPE constants are scalar with cache behaviour folded in.",
+		Cols:  []string{"kernel", "SPE", "PPE", "anchor"},
+	}
+	rows := []struct {
+		name     string
+		spe, ppe float64
+		anchor   string
+	}{
+		{"read/convert", cell.SPECosts.ReadConv, cell.PPECosts.ReadConv, "streaming int conversion"},
+		{"level shift + MCT", cell.SPECosts.ShiftMCT, cell.PPECosts.ShiftMCT, "~6 int ops/sample / 4 lanes"},
+		{"DWT 5/3 (per direction/level)", cell.SPECosts.DWT53, cell.PPECosts.DWT53, "8 ops/sample / 4 lanes + shuffles"},
+		{"DWT 9/7 float", cell.SPECosts.DWT97, cell.PPECosts.DWT97, "spu: lifting loop schedules at ~4 cyc/vector"},
+		{"DWT 9/7 fixed (JasPer)", cell.SPECosts.DWT97Fix, cell.PPECosts.DWT97Fix, "spu: fixed lifting ~11 cyc/vector (ratio below)"},
+		{"DWT convolution (Muta)", cell.SPECosts.DWTConv, cell.PPECosts.DWTConv, "9+7 taps vs ~5 lifting ops"},
+		{"quantization", cell.SPECosts.Quant, cell.PPECosts.Quant, "1 mul + cmp per sample"},
+		{"Tier-1 per scanned coeff", cell.SPECosts.T1Scan, cell.PPECosts.T1Scan, "branchy scan; SPE has no predictor"},
+		{"Tier-1 per coded decision", cell.SPECosts.T1Visit, cell.PPECosts.T1Visit, "PPE ≈ 1.7x faster (paper §5.1)"},
+		{"Tier-2 per body byte", cell.SPECosts.T2Byte, cell.PPECosts.T2Byte, "packet assembly"},
+		{"rate control per pass", cell.SPECosts.RCPass, cell.PPECosts.RCPass, "JasPer λ-search re-scans all passes ~100x"},
+		{"stream I/O per byte", cell.SPECosts.IOByte, cell.PPECosts.IOByte, "sequential read/write"},
+	}
+	for _, r := range rows {
+		consts.AddRow(r.name, f2(r.spe), f2(r.ppe), r.anchor)
+	}
+
+	sched := &Table{
+		Title: "Calibration — SPU pipeline cross-checks",
+		Cols:  []string{"kernel (scheduled)", "cycles", "notes"},
+	}
+	sched.AddRow("float multiply", f2(spu.CyclesPer(spu.FloatMulKernel, 64)), "per vector, independent stream")
+	sched.AddRow("int32 multiply (emulated)", f2(spu.CyclesPer(spu.Mul32Kernel, 64)), "5 even-pipe slots each")
+	fl := spu.CyclesPer(spu.Lift97FloatKernel, 128)
+	fx := spu.CyclesPer(spu.Lift97FixedKernel, 128)
+	sched.AddRow("9/7 lifting step, float", f2(fl), "fa+fma with load/store dual-issued")
+	sched.AddRow("9/7 lifting step, fixed", f2(fx), "multiply emulation dominates the even pipe")
+	sched.AddRow("fixed/float ratio", f2(fx/fl),
+		fmt.Sprintf("cost model uses %.2f", cell.SPECosts.DWT97Fix/cell.SPECosts.DWT97))
+
+	shares := &Table{
+		Title: fmt.Sprintf("Calibration — 1-SPE stage shares (%dx%d dial)", p.W, p.H),
+		Note:  "The shares the constants are tuned to produce; compare DESIGN.md §6 and the paper's §5.1 narrative.",
+		Cols:  []string{"mode", "stage", "share"},
+	}
+	for _, mode := range []struct {
+		name string
+		opt  codec.Options
+	}{{"lossless", losslessOpt()}, {"lossy 0.1", lossyOpt()}} {
+		res, err := core.Encode(p.DialImage(), core.DefaultConfig(1, mode.opt))
+		if err != nil {
+			panic(err)
+		}
+		for _, st := range res.Stages {
+			shares.AddRow(mode.name, st.Name, pct(float64(st.Cycles)/float64(res.Cycles)))
+		}
+	}
+	return []*Table{consts, sched, shares}
+}

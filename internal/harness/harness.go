@@ -1,0 +1,104 @@
+// Package harness regenerates the paper's evaluation: Table 1 and
+// Figures 4–9, plus the ablations for the design choices DESIGN.md
+// calls out. Each experiment returns a Table whose rows carry both the
+// modeled numbers and the paper-reported values they should be compared
+// against (shape, not absolute cycles).
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/workload"
+)
+
+// Params sizes the workloads. The paper uses a 28.3 MB 3072×3072 RGB
+// BMP for Figures 4, 5 and 9, and a 1920×1080 frame for the Muta
+// comparison; Scale divides both (the modeled ratios are size-stable,
+// so scaled runs reproduce the same shapes in less wall time).
+type Params struct {
+	W, H           int
+	FrameW, FrameH int
+	Seed           uint32
+	Grain          float64
+}
+
+// DefaultParams returns the paper's workload divided by scale (1 =
+// full size).
+func DefaultParams(scale int) Params {
+	if scale < 1 {
+		scale = 1
+	}
+	return Params{
+		W: 3072 / scale, H: 3072 / scale,
+		FrameW: 1920 / scale, FrameH: 1080 / scale,
+		Seed: 42, Grain: 5,
+	}
+}
+
+// DialImage renders the watch-dial workload at the main size.
+func (p Params) DialImage() *imgmodel.Image {
+	return workload.Dial(p.W, p.H, p.Seed, p.Grain)
+}
+
+// FrameImage renders the video-frame workload for the Muta comparison.
+func (p Params) FrameImage() *imgmodel.Image {
+	return workload.Dial(p.FrameW, p.FrameH, p.Seed+1, p.Grain)
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Cols)
+	total := len(t.Cols) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.4g", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }

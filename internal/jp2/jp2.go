@@ -1,0 +1,167 @@
+// Package jp2 wraps raw JPEG2000 codestreams in the JP2 file container
+// (ISO/IEC 15444-1 Annex I): a signature box, a file-type box, a header
+// box carrying image geometry and color space, and the contiguous
+// codestream box. Wrapping is what turns a .j2c codestream into a .jp2
+// file.
+package jp2
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Box type four-character codes.
+const (
+	typeSignature = "jP\x20\x20"
+	typeFileType  = "ftyp"
+	typeHeader    = "jp2h"
+	typeImageHdr  = "ihdr"
+	typeColorSpec = "colr"
+	typeCodestrm  = "jp2c"
+)
+
+// signature is the fixed content of the jP box.
+var signature = []byte{0x0D, 0x0A, 0x87, 0x0A}
+
+// Info is the geometry the container duplicates from the codestream.
+type Info struct {
+	W, H  int
+	NComp int
+	Depth int
+	SRGB  bool // true: sRGB colorspace; false: greyscale
+}
+
+// box appends one box (4-byte length + 4-char type + payload).
+func box(out []byte, typ string, payload []byte) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(8+len(payload)))
+	out = append(out, l[:]...)
+	out = append(out, typ...)
+	return append(out, payload...)
+}
+
+// Wrap embeds a codestream in a JP2 container.
+func Wrap(info Info, codestream []byte) []byte {
+	var out []byte
+	out = box(out, typeSignature, signature)
+
+	ftyp := append([]byte("jp2 "), 0, 0, 0, 0) // brand + minor version
+	ftyp = append(ftyp, "jp2 "...)             // compatibility list
+	out = box(out, typeFileType, ftyp)
+
+	ihdr := make([]byte, 14)
+	binary.BigEndian.PutUint32(ihdr[0:], uint32(info.H))
+	binary.BigEndian.PutUint32(ihdr[4:], uint32(info.W))
+	binary.BigEndian.PutUint16(ihdr[8:], uint16(info.NComp))
+	ihdr[10] = byte(info.Depth - 1) // BPC: depth-1, unsigned
+	ihdr[11] = 7                    // compression type: JPEG2000
+	// ihdr[12] UnkC, ihdr[13] IPR left zero.
+
+	colr := []byte{1, 0, 0} // method 1 (enumerated), precedence, approx
+	cs := uint32(17)        // greyscale
+	if info.SRGB {
+		cs = 16 // sRGB
+	}
+	var csb [4]byte
+	binary.BigEndian.PutUint32(csb[:], cs)
+	colr = append(colr, csb[:]...)
+
+	var hdr []byte
+	hdr = box(hdr, typeImageHdr, ihdr)
+	hdr = box(hdr, typeColorSpec, colr)
+	out = box(out, typeHeader, hdr)
+
+	return box(out, typeCodestrm, codestream)
+}
+
+// Unwrap extracts the codestream and header info from a JP2 container.
+func Unwrap(data []byte) (Info, []byte, error) {
+	var info Info
+	var stream []byte
+	sawSig, sawHdr := false, false
+	pos := 0
+	for pos < len(data) {
+		if pos+8 > len(data) {
+			return info, nil, fmt.Errorf("jp2: truncated box header at %d", pos)
+		}
+		l := int(binary.BigEndian.Uint32(data[pos:]))
+		typ := string(data[pos+4 : pos+8])
+		if l == 0 { // box extends to end of file
+			l = len(data) - pos
+		}
+		if l < 8 || pos+l > len(data) {
+			return info, nil, fmt.Errorf("jp2: bad box length %d for %q at %d", l, typ, pos)
+		}
+		payload := data[pos+8 : pos+l]
+		switch typ {
+		case typeSignature:
+			if string(payload) != string(signature) {
+				return info, nil, fmt.Errorf("jp2: bad signature box")
+			}
+			sawSig = true
+		case typeHeader:
+			if err := parseHeader(payload, &info); err != nil {
+				return info, nil, err
+			}
+			sawHdr = true
+		case typeCodestrm:
+			stream = payload
+		}
+		pos += l
+	}
+	if !sawSig {
+		return info, nil, fmt.Errorf("jp2: missing signature box")
+	}
+	if !sawHdr {
+		return info, nil, fmt.Errorf("jp2: missing jp2h box")
+	}
+	if stream == nil {
+		return info, nil, fmt.Errorf("jp2: missing codestream box")
+	}
+	return info, stream, nil
+}
+
+func parseHeader(payload []byte, info *Info) error {
+	pos := 0
+	for pos < len(payload) {
+		if pos+8 > len(payload) {
+			return fmt.Errorf("jp2: truncated header sub-box")
+		}
+		l := int(binary.BigEndian.Uint32(payload[pos:]))
+		typ := string(payload[pos+4 : pos+8])
+		if l < 8 || pos+l > len(payload) {
+			return fmt.Errorf("jp2: bad sub-box length %d", l)
+		}
+		body := payload[pos+8 : pos+l]
+		switch typ {
+		case typeImageHdr:
+			if len(body) < 12 {
+				return fmt.Errorf("jp2: ihdr too short")
+			}
+			info.H = int(binary.BigEndian.Uint32(body[0:]))
+			info.W = int(binary.BigEndian.Uint32(body[4:]))
+			info.NComp = int(binary.BigEndian.Uint16(body[8:]))
+			info.Depth = int(body[10]) + 1
+			if body[11] != 7 {
+				return fmt.Errorf("jp2: compression type %d is not JPEG2000", body[11])
+			}
+		case typeColorSpec:
+			if len(body) >= 7 && body[0] == 1 {
+				info.SRGB = binary.BigEndian.Uint32(body[3:]) == 16
+			}
+		}
+		pos += l
+	}
+	if info.W == 0 || info.H == 0 {
+		return fmt.Errorf("jp2: jp2h lacks ihdr")
+	}
+	return nil
+}
+
+// IsJP2 reports whether data begins with the JP2 signature box.
+func IsJP2(data []byte) bool {
+	return len(data) >= 12 &&
+		binary.BigEndian.Uint32(data) == 12 &&
+		string(data[4:8]) == typeSignature &&
+		string(data[8:12]) == string(signature)
+}

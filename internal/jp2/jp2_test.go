@@ -1,0 +1,94 @@
+package jp2
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() (Info, []byte) {
+	return Info{W: 640, H: 480, NComp: 3, Depth: 8, SRGB: true}, []byte{0xFF, 0x4F, 1, 2, 3, 0xFF, 0xD9}
+}
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	info, cs := sample()
+	data := Wrap(info, cs)
+	if !IsJP2(data) {
+		t.Fatal("wrapped file lacks JP2 signature")
+	}
+	got, stream, err := Unwrap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != info {
+		t.Fatalf("info: %+v vs %+v", got, info)
+	}
+	if string(stream) != string(cs) {
+		t.Fatal("codestream changed")
+	}
+}
+
+func TestGrayscaleColorspace(t *testing.T) {
+	info := Info{W: 10, H: 10, NComp: 1, Depth: 12, SRGB: false}
+	got, _, err := Unwrap(Wrap(info, []byte{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SRGB || got.Depth != 12 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestIsJP2RejectsRaw(t *testing.T) {
+	if IsJP2([]byte{0xFF, 0x4F, 0xFF, 0x51}) {
+		t.Fatal("raw codestream misdetected as JP2")
+	}
+	if IsJP2(nil) {
+		t.Fatal("nil misdetected")
+	}
+}
+
+func TestUnwrapErrors(t *testing.T) {
+	info, cs := sample()
+	good := Wrap(info, cs)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", good[:10]},
+		{"truncated mid-box", good[:len(good)-3]},
+		{"no signature", good[12:]},
+	}
+	for _, c := range cases {
+		if _, _, err := Unwrap(c.data); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Corrupt signature content.
+	bad := append([]byte(nil), good...)
+	bad[8] = 0
+	if _, _, err := Unwrap(bad); err == nil {
+		t.Error("bad signature accepted")
+	}
+	// Missing codestream box: signature + ftyp + header only.
+	hdrOnly := good[:len(good)-(8+len(cs))]
+	if _, _, err := Unwrap(hdrOnly); err == nil || !strings.Contains(err.Error(), "codestream") {
+		t.Errorf("missing codestream: %v", err)
+	}
+}
+
+func TestZeroLengthBoxExtendsToEOF(t *testing.T) {
+	info, cs := sample()
+	data := Wrap(info, cs)
+	// Rewrite the final jp2c box length to 0 (extends to EOF).
+	// Find it: last box starts at len(data) - (8+len(cs)).
+	off := len(data) - (8 + len(cs))
+	data[off], data[off+1], data[off+2], data[off+3] = 0, 0, 0, 0
+	_, stream, err := Unwrap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(stream) != string(cs) {
+		t.Fatal("EOF-extended box mishandled")
+	}
+}

@@ -1,0 +1,101 @@
+// Package mct implements the JPEG2000 multi-component transforms: the
+// DC level shift, the reversible color transform (RCT, lossless path)
+// and the irreversible color transform (ICT, lossy path). The paper
+// merges the level shift with the component transform into one pass to
+// halve data movement (Section 3.2); the row kernels here are those
+// merged forms, usable both by the sequential codec and, row at a time,
+// by the SPE kernels.
+package mct
+
+// LevelShiftRow subtracts 2^(depth-1) from every sample (forward shift
+// for unsigned input).
+func LevelShiftRow(row []int32, depth int) {
+	off := int32(1) << (depth - 1)
+	for i := range row {
+		row[i] -= off
+	}
+}
+
+// UnshiftRow adds 2^(depth-1) back to every sample.
+func UnshiftRow(row []int32, depth int) {
+	off := int32(1) << (depth - 1)
+	for i := range row {
+		row[i] += off
+	}
+}
+
+// ForwardRCTRow applies the merged level shift + reversible color
+// transform in place: (R,G,B) rows become (Y, Cb, Cr) with
+//
+//	Y  = floor((R' + 2G' + B') / 4),  Cb = B' - G',  Cr = R' - G'
+//
+// where X' = X - 2^(depth-1).
+func ForwardRCTRow(r, g, b []int32, depth int) {
+	off := int32(1) << (depth - 1)
+	for i := range r {
+		rr, gg, bb := r[i]-off, g[i]-off, b[i]-off
+		y := (rr + 2*gg + bb) >> 2
+		cb := bb - gg
+		cr := rr - gg
+		r[i], g[i], b[i] = y, cb, cr
+	}
+}
+
+// InverseRCTRow undoes ForwardRCTRow in place, including the level
+// unshift. It is exactly lossless for any int32 inputs that do not
+// overflow.
+func InverseRCTRow(y, cb, cr []int32, depth int) {
+	off := int32(1) << (depth - 1)
+	for i := range y {
+		g := y[i] - ((cb[i] + cr[i]) >> 2)
+		r := cr[i] + g
+		b := cb[i] + g
+		y[i], cb[i], cr[i] = r+off, g+off, b+off
+	}
+}
+
+// ICT coefficients from ITU-T T.800 (identical to the ITU-R BT.601
+// luma/chroma weights).
+const (
+	ictYR, ictYG, ictYB = 0.299, 0.587, 0.114
+	ictCbR              = -0.168736
+	ictCbG              = -0.331264
+	ictCbB              = 0.5
+	ictCrR              = 0.5
+	ictCrG              = -0.418688
+	ictCrB              = -0.081312
+)
+
+// ForwardICTRow applies the merged level shift + irreversible color
+// transform, reading integer (R,G,B) rows and writing float (Y,Cb,Cr).
+func ForwardICTRow(r, g, b []int32, y, cb, cr []float32, depth int) {
+	off := float32(int32(1) << (depth - 1))
+	for i := range r {
+		rr, gg, bb := float32(r[i])-off, float32(g[i])-off, float32(b[i])-off
+		y[i] = ictYR*rr + ictYG*gg + ictYB*bb
+		cb[i] = ictCbR*rr + ictCbG*gg + ictCbB*bb
+		cr[i] = ictCrR*rr + ictCrG*gg + ictCrB*bb
+	}
+}
+
+// InverseICTRow undoes ForwardICTRow, rounding to the nearest integer
+// and re-applying the level shift.
+func InverseICTRow(y, cb, cr []float32, r, g, b []int32, depth int) {
+	off := float32(int32(1) << (depth - 1))
+	for i := range y {
+		yy, ub, vr := y[i], cb[i], cr[i]
+		rf := yy + 1.402*vr + off
+		gf := yy - 0.344136*ub - 0.714136*vr + off
+		bf := yy + 1.772*ub + off
+		r[i] = roundF(rf)
+		g[i] = roundF(gf)
+		b[i] = roundF(bf)
+	}
+}
+
+func roundF(v float32) int32 {
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return -int32(-v + 0.5)
+}

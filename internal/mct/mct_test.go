@@ -1,0 +1,157 @@
+package mct
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelShiftRoundTrip(t *testing.T) {
+	row := []int32{0, 1, 127, 128, 255}
+	want := append([]int32(nil), row...)
+	LevelShiftRow(row, 8)
+	if row[0] != -128 || row[4] != 127 {
+		t.Fatalf("shifted row %v", row)
+	}
+	UnshiftRow(row, 8)
+	for i := range row {
+		if row[i] != want[i] {
+			t.Fatalf("round trip failed: %v", row)
+		}
+	}
+}
+
+func TestRCTKnownValues(t *testing.T) {
+	// Gray pixels: Y = value - 128, Cb = Cr = 0.
+	r := []int32{128, 0, 255}
+	g := []int32{128, 0, 255}
+	b := []int32{128, 0, 255}
+	ForwardRCTRow(r, g, b, 8)
+	wantY := []int32{0, -128, 127}
+	for i := range r {
+		if r[i] != wantY[i] || g[i] != 0 || b[i] != 0 {
+			t.Fatalf("gray pixel %d: Y=%d Cb=%d Cr=%d", i, r[i], g[i], b[i])
+		}
+	}
+}
+
+func TestRCTLossless(t *testing.T) {
+	f := func(pix [][3]uint8) bool {
+		if len(pix) == 0 {
+			return true
+		}
+		r := make([]int32, len(pix))
+		g := make([]int32, len(pix))
+		b := make([]int32, len(pix))
+		for i, p := range pix {
+			r[i], g[i], b[i] = int32(p[0]), int32(p[1]), int32(p[2])
+		}
+		wr := append([]int32(nil), r...)
+		wg := append([]int32(nil), g...)
+		wb := append([]int32(nil), b...)
+		ForwardRCTRow(r, g, b, 8)
+		InverseRCTRow(r, g, b, 8)
+		for i := range pix {
+			if r[i] != wr[i] || g[i] != wg[i] || b[i] != wb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCTDynamicRange(t *testing.T) {
+	// Chroma of the RCT must stay within depth+1 bits.
+	extremes := [][3]int32{{0, 255, 0}, {255, 0, 255}, {0, 0, 255}, {255, 255, 0}}
+	for _, e := range extremes {
+		r, g, b := []int32{e[0]}, []int32{e[1]}, []int32{e[2]}
+		ForwardRCTRow(r, g, b, 8)
+		for _, v := range []int32{g[0], b[0]} {
+			if v < -256 || v > 255 {
+				t.Fatalf("chroma %d out of 9-bit range for %v", v, e)
+			}
+		}
+		if r[0] < -128 || r[0] > 127 {
+			t.Fatalf("luma %d out of range for %v", r[0], e)
+		}
+	}
+}
+
+func TestICTGrayHasZeroChroma(t *testing.T) {
+	r := []int32{200}
+	g := []int32{200}
+	b := []int32{200}
+	y, cb, cr := make([]float32, 1), make([]float32, 1), make([]float32, 1)
+	ForwardICTRow(r, g, b, y, cb, cr, 8)
+	if y[0] != 72 { // 200-128, weights sum to 1
+		t.Errorf("gray luma %v, want 72", y[0])
+	}
+	if abs32(cb[0]) > 1e-4 || abs32(cr[0]) > 1e-4 {
+		t.Errorf("gray chroma not ~0: %v %v", cb[0], cr[0])
+	}
+}
+
+func TestICTNearLossless(t *testing.T) {
+	f := func(pix [][3]uint8) bool {
+		if len(pix) == 0 {
+			return true
+		}
+		r := make([]int32, len(pix))
+		g := make([]int32, len(pix))
+		b := make([]int32, len(pix))
+		for i, p := range pix {
+			r[i], g[i], b[i] = int32(p[0]), int32(p[1]), int32(p[2])
+		}
+		y := make([]float32, len(pix))
+		cb := make([]float32, len(pix))
+		cr := make([]float32, len(pix))
+		ForwardICTRow(r, g, b, y, cb, cr, 8)
+		or := make([]int32, len(pix))
+		og := make([]int32, len(pix))
+		ob := make([]int32, len(pix))
+		InverseICTRow(y, cb, cr, or, og, ob, 8)
+		for i, p := range pix {
+			if d := or[i] - int32(p[0]); d < -1 || d > 1 {
+				return false
+			}
+			if d := og[i] - int32(p[1]); d < -1 || d > 1 {
+				return false
+			}
+			if d := ob[i] - int32(p[2]); d < -1 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestICTWeightsSumToOne(t *testing.T) {
+	if s := ictYR + ictYG + ictYB; abs64(s-1) > 1e-9 {
+		t.Errorf("luma weights sum %v", s)
+	}
+	if s := ictCbR + ictCbG + ictCbB; abs64(s) > 1e-6 {
+		t.Errorf("Cb weights sum %v", s)
+	}
+	if s := ictCrR + ictCrG + ictCrB; abs64(s) > 1e-6 {
+		t.Errorf("Cr weights sum %v", s)
+	}
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

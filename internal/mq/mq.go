@@ -1,0 +1,302 @@
+// Package mq implements the JPEG2000 MQ binary arithmetic coder
+// (ITU-T T.800 Annex C): an adaptive, renormalization-driven coder with
+// a 47-row probability state table and byte stuffing that keeps 0xFF90+
+// marker codes out of the compressed data. Both the encoder and the
+// decoder are provided; EBCOT Tier-1 drives them with 19 contexts.
+package mq
+
+// state is one row of the Qe table.
+type state struct {
+	qe         uint32
+	nmps, nlps uint8
+	sw         uint8
+}
+
+// qeTable is the standard 47-state probability estimation table.
+var qeTable = [47]state{
+	{0x5601, 1, 1, 1},
+	{0x3401, 2, 6, 0},
+	{0x1801, 3, 9, 0},
+	{0x0AC1, 4, 12, 0},
+	{0x0521, 5, 29, 0},
+	{0x0221, 38, 33, 0},
+	{0x5601, 7, 6, 1},
+	{0x5401, 8, 14, 0},
+	{0x4801, 9, 14, 0},
+	{0x3801, 10, 14, 0},
+	{0x3001, 11, 17, 0},
+	{0x2401, 12, 18, 0},
+	{0x1C01, 13, 20, 0},
+	{0x1601, 29, 21, 0},
+	{0x5601, 15, 14, 1},
+	{0x5401, 16, 14, 0},
+	{0x5101, 17, 15, 0},
+	{0x4801, 18, 16, 0},
+	{0x3801, 19, 17, 0},
+	{0x3401, 20, 18, 0},
+	{0x3001, 21, 19, 0},
+	{0x2801, 22, 19, 0},
+	{0x2401, 23, 20, 0},
+	{0x2201, 24, 21, 0},
+	{0x1C01, 25, 22, 0},
+	{0x1801, 26, 23, 0},
+	{0x1601, 27, 24, 0},
+	{0x1401, 28, 25, 0},
+	{0x1201, 29, 26, 0},
+	{0x1101, 30, 27, 0},
+	{0x0AC1, 31, 28, 0},
+	{0x09C1, 32, 29, 0},
+	{0x08A1, 33, 30, 0},
+	{0x0521, 34, 31, 0},
+	{0x0441, 35, 32, 0},
+	{0x02A1, 36, 33, 0},
+	{0x0221, 37, 34, 0},
+	{0x0141, 38, 35, 0},
+	{0x0111, 39, 36, 0},
+	{0x0085, 40, 37, 0},
+	{0x0049, 41, 38, 0},
+	{0x0025, 42, 39, 0},
+	{0x0015, 43, 40, 0},
+	{0x0009, 44, 41, 0},
+	{0x0005, 45, 42, 0},
+	{0x0001, 45, 43, 0},
+	{0x5601, 46, 46, 0},
+}
+
+// Context is one adaptive probability context: a table index and the
+// current most-probable-symbol value.
+type Context struct {
+	i   uint8
+	mps uint8
+}
+
+// NewContext returns a context initialized to table state i0 with MPS 0.
+func NewContext(i0 uint8) Context { return Context{i: i0} }
+
+// Encoder is the MQ arithmetic encoder. The zero value is not usable;
+// call Reset first.
+type Encoder struct {
+	a, c uint32
+	ct   int
+	b    int // index of the byte register within buf; -1 before first
+	buf  []byte
+}
+
+// Reset prepares the encoder for a new codeword segment, reusing the
+// output buffer's storage.
+func (e *Encoder) Reset() {
+	e.a = 0x8000
+	e.c = 0
+	e.ct = 12
+	e.b = -1
+	e.buf = e.buf[:0]
+}
+
+// Encode codes decision d (0 or 1) in context cx.
+func (e *Encoder) Encode(d int, cx *Context) {
+	s := &qeTable[cx.i]
+	if uint8(d) == cx.mps {
+		// CODEMPS
+		e.a -= s.qe
+		if e.a&0x8000 == 0 {
+			if e.a < s.qe {
+				e.a = s.qe
+			} else {
+				e.c += s.qe
+			}
+			cx.i = s.nmps
+			e.renorm()
+		} else {
+			e.c += s.qe
+		}
+		return
+	}
+	// CODELPS
+	e.a -= s.qe
+	if e.a < s.qe {
+		e.c += s.qe
+	} else {
+		e.a = s.qe
+	}
+	if s.sw == 1 {
+		cx.mps = 1 - cx.mps
+	}
+	cx.i = s.nlps
+	e.renorm()
+}
+
+func (e *Encoder) renorm() {
+	for {
+		e.a <<= 1
+		e.c <<= 1
+		e.ct--
+		if e.ct == 0 {
+			e.byteOut()
+		}
+		if e.a&0x8000 != 0 {
+			return
+		}
+	}
+}
+
+func (e *Encoder) byteOut() {
+	if e.b >= 0 && e.buf[e.b] == 0xFF {
+		e.stuff()
+		return
+	}
+	if e.c < 0x8000000 {
+		e.emit(byte(e.c>>19), 0x7FFFF, 8)
+		return
+	}
+	// Propagate the carry into the byte register.
+	if e.b >= 0 {
+		e.buf[e.b]++
+		if e.buf[e.b] == 0xFF {
+			e.c &= 0x7FFFFFF
+			e.stuff()
+			return
+		}
+	}
+	e.emit(byte(e.c>>19), 0x7FFFF, 8)
+}
+
+func (e *Encoder) stuff() {
+	e.buf = append(e.buf, byte(e.c>>20))
+	e.b = len(e.buf) - 1
+	e.c &= 0xFFFFF
+	e.ct = 7
+}
+
+func (e *Encoder) emit(v byte, mask uint32, ct int) {
+	e.buf = append(e.buf, v)
+	e.b = len(e.buf) - 1
+	e.c &= mask
+	e.ct = ct
+}
+
+// Flush terminates the codeword segment so any prefix of future
+// encoder output is independent of it, and returns the complete
+// segment bytes (valid until the next Reset).
+func (e *Encoder) Flush() []byte {
+	// SETBITS
+	tempC := e.c + e.a - 1
+	e.c |= 0xFFFF
+	if e.c >= tempC {
+		e.c -= 0x8000
+	}
+	e.c <<= uint(e.ct)
+	e.byteOut()
+	e.c <<= uint(e.ct)
+	e.byteOut()
+	// A trailing 0xFF would be a marker prefix; the standard drops it.
+	if n := len(e.buf); n > 0 && e.buf[n-1] == 0xFF {
+		e.buf = e.buf[:n-1]
+	}
+	return e.buf
+}
+
+// NumBytes reports the bytes emitted so far (before Flush), a lower
+// bound on the final segment length used for rate estimation.
+func (e *Encoder) NumBytes() int { return len(e.buf) }
+
+// Decoder is the MQ arithmetic decoder. Reading past the end of the
+// data (as happens when decoding a truncated segment) feeds 1-bits, as
+// the standard prescribes for marker-terminated segments.
+type Decoder struct {
+	a, c uint32
+	ct   int
+	bp   int
+	data []byte
+}
+
+// NewDecoder initializes a decoder over one codeword segment.
+func NewDecoder(data []byte) *Decoder {
+	d := &Decoder{data: data}
+	d.c = uint32(d.byteAt(0)) << 16
+	d.bp = 0
+	d.byteIn()
+	d.c <<= 7
+	d.ct -= 7
+	d.a = 0x8000
+	return d
+}
+
+// byteAt returns data[i], or 0xFF past the end.
+func (d *Decoder) byteAt(i int) byte {
+	if i >= len(d.data) {
+		return 0xFF
+	}
+	return d.data[i]
+}
+
+func (d *Decoder) byteIn() {
+	if d.byteAt(d.bp) == 0xFF {
+		if d.byteAt(d.bp+1) > 0x8F {
+			// Marker (or synthetic end-of-data): feed 1-bits forever.
+			d.c += 0xFF00
+			d.ct = 8
+		} else {
+			d.bp++
+			d.c += uint32(d.byteAt(d.bp)) << 9
+			d.ct = 7
+		}
+	} else {
+		d.bp++
+		d.c += uint32(d.byteAt(d.bp)) << 8
+		d.ct = 8
+	}
+}
+
+// Decode returns the next decision in context cx.
+func (d *Decoder) Decode(cx *Context) int {
+	s := &qeTable[cx.i]
+	var bit uint8
+	d.a -= s.qe
+	if (d.c>>16)&0xFFFF < s.qe {
+		// LPS exchange path.
+		if d.a < s.qe {
+			bit = cx.mps
+			cx.i = s.nmps
+		} else {
+			bit = 1 - cx.mps
+			if s.sw == 1 {
+				cx.mps = 1 - cx.mps
+			}
+			cx.i = s.nlps
+		}
+		d.a = s.qe
+		d.renorm()
+	} else {
+		d.c -= s.qe << 16
+		if d.a&0x8000 == 0 {
+			if d.a < s.qe {
+				bit = 1 - cx.mps
+				if s.sw == 1 {
+					cx.mps = 1 - cx.mps
+				}
+				cx.i = s.nlps
+			} else {
+				bit = cx.mps
+				cx.i = s.nmps
+			}
+			d.renorm()
+		} else {
+			bit = cx.mps
+		}
+	}
+	return int(bit)
+}
+
+func (d *Decoder) renorm() {
+	for {
+		if d.ct == 0 {
+			d.byteIn()
+		}
+		d.a <<= 1
+		d.c <<= 1
+		d.ct--
+		if d.a&0x8000 != 0 {
+			return
+		}
+	}
+}

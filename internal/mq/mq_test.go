@@ -1,0 +1,261 @@
+package mq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"j2kcell/internal/workload"
+)
+
+// roundTrip encodes the decision sequence with ctxIDs selecting among
+// nctx contexts, then decodes and compares.
+func roundTrip(t *testing.T, bits []int, ctxIDs []int, nctx int) {
+	t.Helper()
+	encCtx := make([]Context, nctx)
+	var e Encoder
+	e.Reset()
+	for i, b := range bits {
+		e.Encode(b, &encCtx[ctxIDs[i]])
+	}
+	data := e.Flush()
+
+	decCtx := make([]Context, nctx)
+	d := NewDecoder(data)
+	for i := range bits {
+		if got := d.Decode(&decCtx[ctxIDs[i]]); got != bits[i] {
+			t.Fatalf("bit %d: decoded %d, want %d", i, got, bits[i])
+		}
+	}
+}
+
+func TestRoundTripSimplePatterns(t *testing.T) {
+	patterns := [][]int{
+		{0}, {1},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{0, 1, 0, 1, 0, 1, 0, 1},
+		{1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 1},
+	}
+	for _, p := range patterns {
+		ids := make([]int, len(p))
+		roundTrip(t, p, ids, 1)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	var e Encoder
+	e.Reset()
+	data := e.Flush()
+	if len(data) > 3 {
+		t.Fatalf("empty segment is %d bytes", len(data))
+	}
+}
+
+func TestPropRoundTripRandom(t *testing.T) {
+	f := func(seed uint32, n16 uint16, nctx8 uint8) bool {
+		n := int(n16)%4000 + 1
+		nctx := int(nctx8)%19 + 1
+		rng := workload.NewRNG(seed)
+		bits := make([]int, n)
+		ids := make([]int, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+			ids[i] = rng.Intn(nctx)
+		}
+		encCtx := make([]Context, nctx)
+		var e Encoder
+		e.Reset()
+		for i, b := range bits {
+			e.Encode(b, &encCtx[ids[i]])
+		}
+		data := e.Flush()
+		decCtx := make([]Context, nctx)
+		d := NewDecoder(data)
+		for i := range bits {
+			if d.Decode(&decCtx[ids[i]]) != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripSkewedSources(t *testing.T) {
+	// Heavily skewed sources exercise the deep table states and carry
+	// propagation.
+	for _, p1 := range []int{1, 5, 50, 200, 250, 254} {
+		rng := workload.NewRNG(uint32(p1))
+		bits := make([]int, 20000)
+		for i := range bits {
+			if rng.Intn(255) < p1 {
+				bits[i] = 1
+			}
+		}
+		ids := make([]int, len(bits))
+		roundTrip(t, bits, ids, 1)
+	}
+}
+
+func TestCompressionOfSkewedSource(t *testing.T) {
+	// An adaptive arithmetic coder must compress a 1%-ones source far
+	// below 1 bit per symbol (entropy ≈ 0.08 bpс).
+	rng := workload.NewRNG(99)
+	const n = 100000
+	var e Encoder
+	e.Reset()
+	ctx := NewContext(0)
+	for i := 0; i < n; i++ {
+		b := 0
+		if rng.Intn(100) == 0 {
+			b = 1
+		}
+		e.Encode(b, &ctx)
+	}
+	data := e.Flush()
+	bps := float64(len(data)*8) / n
+	if bps > 0.15 {
+		t.Fatalf("%.3f bits/symbol for 1%% source; coder not adapting", bps)
+	}
+}
+
+func TestRandomSourceNearOneBit(t *testing.T) {
+	rng := workload.NewRNG(7)
+	const n = 50000
+	var e Encoder
+	e.Reset()
+	ctx := NewContext(0)
+	for i := 0; i < n; i++ {
+		e.Encode(rng.Intn(2), &ctx)
+	}
+	data := e.Flush()
+	bps := float64(len(data)*8) / n
+	if bps < 0.98 || bps > 1.1 {
+		t.Fatalf("%.3f bits/symbol for random source, want ≈1", bps)
+	}
+}
+
+func TestNoUnstuffedMarkersInOutput(t *testing.T) {
+	// Byte stuffing must prevent any 0xFF followed by a byte > 0x8F.
+	rng := workload.NewRNG(3)
+	var e Encoder
+	e.Reset()
+	ctxs := make([]Context, 4)
+	for i := 0; i < 200000; i++ {
+		e.Encode(rng.Intn(2), &ctxs[rng.Intn(4)])
+	}
+	data := e.Flush()
+	for i := 0; i+1 < len(data); i++ {
+		if data[i] == 0xFF && data[i+1] > 0x8F {
+			t.Fatalf("marker code FF %02X at offset %d", data[i+1], i)
+		}
+	}
+	if data[len(data)-1] == 0xFF {
+		t.Fatal("segment ends in 0xFF")
+	}
+}
+
+func TestTruncatedSegmentDoesNotCrash(t *testing.T) {
+	rng := workload.NewRNG(5)
+	bits := make([]int, 5000)
+	for i := range bits {
+		bits[i] = rng.Intn(2)
+	}
+	var e Encoder
+	e.Reset()
+	ctx := NewContext(0)
+	for _, b := range bits {
+		e.Encode(b, &ctx)
+	}
+	data := e.Flush()
+	for _, frac := range []int{0, 1, 2, 4} {
+		n := len(data) * frac / 4
+		dctx := NewContext(0)
+		d := NewDecoder(data[:n])
+		for range bits {
+			v := d.Decode(&dctx)
+			if v != 0 && v != 1 {
+				t.Fatalf("invalid decision %d", v)
+			}
+		}
+	}
+}
+
+func TestTruncatedPrefixDecodesPrefixBits(t *testing.T) {
+	// The bits decodable before the truncation point must match; this
+	// property is what makes rate-control truncation possible at all.
+	rng := workload.NewRNG(11)
+	bits := make([]int, 8000)
+	for i := range bits {
+		if rng.Intn(10) == 0 {
+			bits[i] = 1
+		}
+	}
+	var e Encoder
+	e.Reset()
+	ctx := NewContext(0)
+	for _, b := range bits {
+		e.Encode(b, &ctx)
+	}
+	data := e.Flush()
+	// Decoding from a prefix of 3/4 of the segment must reproduce at
+	// least half the decisions before diverging.
+	dctx := NewContext(0)
+	d := NewDecoder(data[:len(data)*3/4])
+	correct := 0
+	for i := range bits {
+		if d.Decode(&dctx) == bits[i] {
+			correct++
+		} else {
+			break
+		}
+	}
+	if correct < len(bits)/2 {
+		t.Fatalf("only %d/%d decisions survive 75%% truncation", correct, len(bits))
+	}
+}
+
+func TestEncoderResetReusesBuffer(t *testing.T) {
+	var e Encoder
+	e.Reset()
+	ctx := NewContext(0)
+	for i := 0; i < 1000; i++ {
+		e.Encode(i&1, &ctx)
+	}
+	first := append([]byte(nil), e.Flush()...)
+	e.Reset()
+	ctx = NewContext(0)
+	for i := 0; i < 1000; i++ {
+		e.Encode(i&1, &ctx)
+	}
+	second := e.Flush()
+	if string(first) != string(second) {
+		t.Fatal("encoder not deterministic across Reset")
+	}
+}
+
+func TestContextInitialState(t *testing.T) {
+	c := NewContext(46)
+	if c.i != 46 || c.mps != 0 {
+		t.Fatalf("context init: %+v", c)
+	}
+}
+
+func TestQeTableInvariants(t *testing.T) {
+	for i, s := range qeTable {
+		if s.qe == 0 || s.qe > 0x5601 {
+			t.Errorf("state %d: Qe %#x out of range", i, s.qe)
+		}
+		if int(s.nmps) >= len(qeTable) || int(s.nlps) >= len(qeTable) {
+			t.Errorf("state %d: transition out of table", i)
+		}
+		if s.sw == 1 && s.qe != 0x5601 {
+			t.Errorf("state %d: SWITCH set on non-startup state", i)
+		}
+	}
+	if qeTable[46].nmps != 46 || qeTable[46].nlps != 46 {
+		t.Error("uniform state 46 must be absorbing")
+	}
+}

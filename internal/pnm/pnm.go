@@ -1,0 +1,165 @@
+// Package pnm reads and writes binary PGM (P5, grayscale) and PPM
+// (P6, RGB) images — the other raster formats JasPer commonly
+// transcodes to JPEG2000. 8-bit and 16-bit sample depths are supported.
+package pnm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"j2kcell/internal/imgmodel"
+)
+
+// Decode reads a binary PGM or PPM image.
+func Decode(r io.Reader) (*imgmodel.Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := token(br)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: reading magic: %w", err)
+	}
+	var ncomp int
+	switch magic {
+	case "P5":
+		ncomp = 1
+	case "P6":
+		ncomp = 3
+	default:
+		return nil, fmt.Errorf("pnm: unsupported magic %q (want P5 or P6)", magic)
+	}
+	w, err := intToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: width: %w", err)
+	}
+	h, err := intToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: height: %w", err)
+	}
+	maxv, err := intToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pnm: maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w > 1<<20 || h > 1<<20 {
+		return nil, fmt.Errorf("pnm: invalid dimensions %dx%d", w, h)
+	}
+	depth := 8
+	if maxv > 255 {
+		depth = 16
+	}
+	if maxv <= 0 || maxv > 65535 {
+		return nil, fmt.Errorf("pnm: invalid maxval %d", maxv)
+	}
+	img := imgmodel.NewImage(w, h, ncomp, depth)
+	bytesPerSample := depth / 8
+	row := make([]byte, w*ncomp*bytesPerSample)
+	for y := 0; y < h; y++ {
+		if _, err := io.ReadFull(br, row); err != nil {
+			return nil, fmt.Errorf("pnm: row %d: %w", y, err)
+		}
+		for x := 0; x < w; x++ {
+			for c := 0; c < ncomp; c++ {
+				o := (x*ncomp + c) * bytesPerSample
+				v := int32(row[o])
+				if bytesPerSample == 2 {
+					v = v<<8 | int32(row[o+1]) // big-endian per the spec
+				}
+				img.Comps[c].Set(y, x, v)
+			}
+		}
+	}
+	return img, nil
+}
+
+// Encode writes img as binary PGM (1 component) or PPM (3 components).
+func Encode(w io.Writer, img *imgmodel.Image) error {
+	var magic string
+	switch len(img.Comps) {
+	case 1:
+		magic = "P5"
+	case 3:
+		magic = "P6"
+	default:
+		return fmt.Errorf("pnm: %d components unsupported (want 1 or 3)", len(img.Comps))
+	}
+	maxv := int32(1)<<img.Depth - 1
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\n%d %d\n%d\n", magic, img.W, img.H, maxv)
+	bytesPerSample := 1
+	if img.Depth > 8 {
+		bytesPerSample = 2
+	}
+	ncomp := len(img.Comps)
+	row := make([]byte, img.W*ncomp*bytesPerSample)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			for c := 0; c < ncomp; c++ {
+				v := img.Comps[c].At(y, x)
+				if v < 0 {
+					v = 0
+				}
+				if v > maxv {
+					v = maxv
+				}
+				o := (x*ncomp + c) * bytesPerSample
+				if bytesPerSample == 2 {
+					row[o] = byte(v >> 8)
+					row[o+1] = byte(v)
+				} else {
+					row[o] = byte(v)
+				}
+			}
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// token reads the next whitespace-delimited token, skipping '#'
+// comments per the PNM specification.
+func token(br *bufio.Reader) (string, error) {
+	var out []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(out) > 0 && err == io.EOF {
+				return string(out), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(out) > 0 {
+				return string(out), nil
+			}
+		default:
+			out = append(out, b)
+		}
+	}
+}
+
+func intToken(br *bufio.Reader) (int, error) {
+	s, err := token(br)
+	if err != nil {
+		return 0, err
+	}
+	v := 0
+	for _, ch := range s {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("pnm: non-numeric token %q", s)
+		}
+		v = v*10 + int(ch-'0')
+		if v > 1<<30 {
+			return 0, fmt.Errorf("pnm: value overflow in %q", s)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,125 @@
+package pnm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/workload"
+)
+
+func TestPPMRoundTrip(t *testing.T) {
+	img := workload.Dial(37, 23, 2, 4)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("PPM round trip not lossless")
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	img := imgmodel.NewImage(20, 10, 1, 8)
+	rng := workload.NewRNG(3)
+	for y := 0; y < 10; y++ {
+		row := img.Comps[0].Row(y)
+		for x := range row {
+			row[x] = int32(rng.Intn(256))
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n") {
+		t.Fatalf("header: %q", buf.String()[:10])
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.Equal(got) {
+		t.Fatal("PGM round trip failed")
+	}
+}
+
+func TestSixteenBitRoundTrip(t *testing.T) {
+	img := imgmodel.NewImage(8, 4, 3, 16)
+	rng := workload.NewRNG(9)
+	for _, p := range img.Comps {
+		for y := 0; y < 4; y++ {
+			row := p.Row(y)
+			for x := range row {
+				row[x] = int32(rng.Intn(65536))
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth != 16 || !img.Equal(got) {
+		t.Fatal("16-bit round trip failed")
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	data := "P5 # magic\n# a comment line\n2 2 # dims\n255\n\x01\x02\x03\x04"
+	img, err := Decode(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != 2 || img.H != 2 || img.Comps[0].At(1, 1) != 4 {
+		t.Fatalf("parsed %dx%d, last=%d", img.W, img.H, img.Comps[0].At(1, 1))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"P4\n2 2\n255\n",            // bitmap unsupported
+		"P6\n-3 2\n255\n",           // non-numeric (minus)
+		"P5\n2 2\n0\n",              // bad maxval
+		"P5\n2 2\n255\n\x01",        // truncated pixels
+		"P5\n999999999999 2\n255\n", // overflow
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestEncodeRejectsTwoComponents(t *testing.T) {
+	img := imgmodel.NewImage(2, 2, 2, 8)
+	if err := Encode(&bytes.Buffer{}, img); err == nil {
+		t.Fatal("2-component image accepted")
+	}
+}
+
+func TestEncodeClamps(t *testing.T) {
+	img := imgmodel.NewImage(2, 1, 1, 8)
+	img.Comps[0].Set(0, 0, -5)
+	img.Comps[0].Set(0, 1, 300)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Comps[0].At(0, 0) != 0 || got.Comps[0].At(0, 1) != 255 {
+		t.Fatal("clamping failed")
+	}
+}

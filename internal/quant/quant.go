@@ -1,0 +1,65 @@
+// Package quant implements the scalar deadzone quantizer of the
+// JPEG2000 irreversible path. Step sizes are derived per subband from
+// the synthesis basis norms: Δ_b = Δ0 / g_b, so that one quantizer LSB
+// contributes the same image-domain error in every band and the
+// Tier-1 distortion weights stay uniform. (The reversible 5/3 path
+// uses no quantization; its "ranging" is the identity.)
+package quant
+
+import (
+	"j2kcell/internal/dwt"
+)
+
+// DefaultBaseDelta is Δ0: half an 8-bit gray level of image-domain
+// error per quantizer LSB.
+const DefaultBaseDelta = 0.5
+
+// StepFor returns the quantizer step for a subband.
+func StepFor(baseDelta float64, levels int, o dwt.Orient, level int) float64 {
+	return baseDelta / dwt.BandGain(dwt.W97, levels, o, level)
+}
+
+// QuantizeRow converts one row of 9/7 coefficients to sign-magnitude
+// integers: q = sign(v) * floor(|v| / Δ).
+func QuantizeRow(dst []int32, src []float32, delta float32) {
+	inv := 1 / delta
+	for i, v := range src {
+		if v >= 0 {
+			dst[i] = int32(v * inv)
+		} else {
+			dst[i] = -int32(-v * inv)
+		}
+	}
+}
+
+// DequantizeRow reconstructs coefficients with the standard r=0.5
+// midpoint: v = sign(q) * (|q| + 0.5) * Δ for q != 0. Tier-1 decoding
+// of truncated blocks already folds in the midpoint of the missing
+// planes, so here the 0.5 accounts only for the sub-LSB remainder.
+func DequantizeRow(dst []float32, src []int32, delta float32) {
+	for i, q := range src {
+		switch {
+		case q > 0:
+			dst[i] = (float32(q) + 0.5) * delta
+		case q < 0:
+			dst[i] = (float32(q) - 0.5) * delta
+		default:
+			dst[i] = 0
+		}
+	}
+}
+
+// MaxBitplanes bounds the number of magnitude bit planes a band's
+// quantizer indices can occupy for samples of the given bit depth
+// (post level shift), used as M_b when signaling zero bit planes.
+func MaxBitplanes(depth int, baseDelta float64, levels int, o dwt.Orient, level int) int {
+	amp := float64(int32(1) << (depth - 1)) // |v| bound after level shift
+	// Chroma transforms and filter overshoot can roughly double it.
+	amp *= 2.5
+	q := amp / StepFor(baseDelta, levels, o, level)
+	n := 0
+	for v := int64(q); v > 0; v >>= 1 {
+		n++
+	}
+	return n + 1 // one guard bit
+}

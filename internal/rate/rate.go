@@ -1,0 +1,198 @@
+// Package rate implements post-compression rate-distortion
+// optimization (PCRD-opt, Taubman's EBCOT Tier-1.5): given every code
+// block's per-pass cumulative byte costs and distortion reductions, it
+// chooses a truncation point for each block so total bytes meet a
+// budget with minimal total distortion. The paper runs this stage
+// sequentially on the PPE; at 16 SPE + 2 PPE it is ~60% of lossy
+// encoding time, the Amdahl term that flattens Figure 5.
+package rate
+
+import "sort"
+
+// BlockRD is the rate-distortion ladder of one code block: cumulative
+// bytes and cumulative distortion reduction after each coding pass.
+type BlockRD struct {
+	Rates []int
+	Dists []float64
+}
+
+// hullPoint is a truncation point surviving the convex-hull sweep.
+type hullPoint struct {
+	pass  int // number of passes kept (1-based)
+	slope float64
+}
+
+// hull computes the strictly-decreasing-slope convex hull of a block's
+// R-D ladder (slope = ΔD/ΔR from the previous hull point), the set of
+// truncation points PCRD may legally choose.
+func hull(b BlockRD) []hullPoint {
+	at := func(i int) (int, float64) {
+		if i < 0 {
+			return 0, 0
+		}
+		return b.Rates[i], b.Dists[i]
+	}
+	var stack []int // 0-based pass indices on the hull
+	for i := range b.Rates {
+		r, d := at(i)
+		for len(stack) > 0 {
+			pr, pd := 0, 0.0
+			if len(stack) >= 2 {
+				pr, pd = at(stack[len(stack)-2])
+			}
+			tr, td := at(stack[len(stack)-1])
+			if r <= tr {
+				// No new bytes: keep the later pass only if it buys
+				// strictly more distortion reduction for free.
+				if d > td {
+					stack[len(stack)-1] = i
+				}
+				r, d = -1, 0 // consumed
+				break
+			}
+			sTop := (td - pd) / float64(tr-pr)
+			sNew := (d - pd) / float64(r-pr)
+			if sNew >= sTop {
+				stack = stack[:len(stack)-1] // top is dominated
+				continue
+			}
+			break
+		}
+		if r < 0 {
+			continue
+		}
+		pr, pd := 0, 0.0
+		if len(stack) > 0 {
+			pr, pd = at(stack[len(stack)-1])
+		}
+		if r > pr && d > pd {
+			stack = append(stack, i)
+		}
+	}
+	pts := make([]hullPoint, 0, len(stack))
+	pr, pd := 0, 0.0
+	for _, i := range stack {
+		r, d := at(i)
+		pts = append(pts, hullPoint{pass: i + 1, slope: (d - pd) / float64(r-pr)})
+		pr, pd = r, d
+	}
+	return pts
+}
+
+// Allocate returns, for each block, the number of passes to keep so
+// that the summed truncated rates fit the byte budget with minimal
+// distortion. A non-positive budget keeps nothing; a budget beyond the
+// total keeps everything.
+func Allocate(blocks []BlockRD, budget int) []int {
+	hulls := make([][]hullPoint, len(blocks))
+	total := 0
+	var slopes []float64
+	for i, b := range blocks {
+		hulls[i] = hull(b)
+		if n := len(b.Rates); n > 0 {
+			total += b.Rates[n-1]
+		}
+		for _, p := range hulls[i] {
+			slopes = append(slopes, p.slope)
+		}
+	}
+	out := make([]int, len(blocks))
+	if budget <= 0 {
+		return out
+	}
+	if total <= budget {
+		for i, b := range blocks {
+			out[i] = len(b.Rates)
+		}
+		return out
+	}
+
+	// pick selects per-block passes for a slope threshold λ: keep every
+	// hull point with slope >= λ.
+	pick := func(lambda float64) ([]int, int) {
+		sel := make([]int, len(blocks))
+		bytes := 0
+		for i, h := range hulls {
+			keep := 0
+			for _, p := range h {
+				if p.slope >= lambda {
+					keep = p.pass
+				} else {
+					break
+				}
+			}
+			sel[i] = keep
+			if keep > 0 {
+				bytes += blocks[i].Rates[keep-1]
+			}
+		}
+		return sel, bytes
+	}
+
+	// Binary search over the distinct slopes (descending) for the
+	// smallest λ that fits, i.e. the most data we can keep.
+	sort.Sort(sort.Reverse(sort.Float64Slice(slopes)))
+	lo, hi := 0, len(slopes)-1 // index into sorted slopes
+	best := out
+	bestBytes := -1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		sel, bytes := pick(slopes[mid])
+		if bytes <= budget {
+			if bytes > bestBytes {
+				best, bestBytes = sel, bytes
+			}
+			lo = mid + 1 // try a smaller slope (keep more)
+		} else {
+			hi = mid - 1
+		}
+	}
+	if bestBytes < 0 {
+		// Even the steepest single point overflows; keep nothing.
+		return out
+	}
+	return best
+}
+
+// TotalBytes sums the selected truncation rates.
+func TotalBytes(blocks []BlockRD, sel []int) int {
+	n := 0
+	for i, k := range sel {
+		if k > 0 {
+			n += blocks[i].Rates[k-1]
+		}
+	}
+	return n
+}
+
+// TotalDistortion sums the residual distortion (initial minus recovered)
+// for a selection, given each block's initial distortion.
+func TotalDistortion(blocks []BlockRD, dist0 []float64, sel []int) float64 {
+	var d float64
+	for i, k := range sel {
+		d += dist0[i]
+		if k > 0 {
+			d -= blocks[i].Dists[k-1]
+		}
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// PassesConsidered reports the total number of R-D points examined —
+// the workload driver for the sequential PPE rate-control stage in the
+// Cell cost model.
+func PassesConsidered(blocks []BlockRD) int {
+	n := 0
+	for _, b := range blocks {
+		n += len(b.Rates)
+	}
+	return n
+}
+
+// Lagrangian returns D + λR for diagnostics and tests.
+func Lagrangian(blocks []BlockRD, dist0 []float64, sel []int, lambda float64) float64 {
+	return TotalDistortion(blocks, dist0, sel) + lambda*float64(TotalBytes(blocks, sel))
+}

@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestDelayAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Delay(100)
+		at = p.Now()
+	})
+	end := e.Run()
+	if at != 100 || end != 100 {
+		t.Fatalf("got at=%d end=%d, want 100", at, end)
+	}
+}
+
+func TestDelayZeroAndNegative(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Delay(0)
+		p.Delay(-5)
+		if p.Now() != 0 {
+			t.Errorf("zero/negative delay advanced clock to %d", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestSpawnAtFutureTime(t *testing.T) {
+	e := NewEngine()
+	var start Time
+	e.Spawn("late", 42, func(p *Proc) { start = p.Now() })
+	e.Run()
+	if start != 42 {
+		t.Fatalf("late proc started at %d, want 42", start)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		var trace []string
+		e := NewEngine()
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), 0, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Delay(10)
+					trace = append(trace, fmt.Sprintf("p%d@%d", i, p.Now()))
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("trace length %d, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic schedule at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Same-time events must resolve in spawn order.
+	if a[0] != "p0@10" || a[1] != "p1@10" {
+		t.Fatalf("tie-break order wrong: %v", a[:4])
+	}
+}
+
+func TestResourceSerializesTransfers(t *testing.T) {
+	e := NewEngine()
+	r := &Resource{Name: "bus", BytesPerCycle: 2, Latency: 5}
+	var t1, t2 Time
+	e.Spawn("a", 0, func(p *Proc) {
+		p.Transfer(r, 100) // busy 50, +5 latency => done at 55
+		t1 = p.Now()
+	})
+	e.Spawn("b", 0, func(p *Proc) {
+		p.Transfer(r, 100) // server free at 50, so 50..100, +5 => 105
+		t2 = p.Now()
+	})
+	e.Run()
+	if t1 != 55 {
+		t.Errorf("first transfer done at %d, want 55", t1)
+	}
+	if t2 != 105 {
+		t.Errorf("second transfer done at %d, want 105", t2)
+	}
+	if r.TotalBytes != 200 || r.Transfers != 2 || r.BusyCycles != 100 {
+		t.Errorf("accounting: bytes=%d transfers=%d busy=%d", r.TotalBytes, r.Transfers, r.BusyCycles)
+	}
+}
+
+func TestResourcePipelining(t *testing.T) {
+	// Two async transfers from one proc: second streams right behind the
+	// first (bandwidth-limited), each pays latency once.
+	e := NewEngine()
+	r := &Resource{Name: "bus", BytesPerCycle: 1, Latency: 100}
+	var done1, done2 Time
+	e.Spawn("p", 0, func(p *Proc) {
+		c1 := p.TransferAsync(r, 10)
+		c2 := p.TransferAsync(r, 10)
+		p.WaitFor(c1, c2)
+		done1, done2 = c1.CompletedAt(), c2.CompletedAt()
+	})
+	e.Run()
+	if done1 != 110 {
+		t.Errorf("c1 at %d, want 110", done1)
+	}
+	if done2 != 120 { // not 220: latency overlaps with streaming
+		t.Errorf("c2 at %d, want 120 (pipelined)", done2)
+	}
+}
+
+func TestWaitForAlreadyDone(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		r := &Resource{Name: "x", BytesPerCycle: 1}
+		c := p.TransferAsync(r, 4)
+		p.Delay(1000)
+		if !c.Done() {
+			t.Error("completion should be done after long delay")
+		}
+		p.WaitFor(c) // must not block
+		p.WaitFor(nil)
+		if p.Now() != 1000 {
+			t.Errorf("WaitFor on done completion advanced time to %d", p.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestMutexExclusionAndFIFO(t *testing.T) {
+	e := NewEngine()
+	m := &Mutex{}
+	var order []string
+	var inside int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("w%d", i), 0, func(p *Proc) {
+			p.Lock(m)
+			inside++
+			if inside != 1 {
+				t.Errorf("mutual exclusion violated: %d inside", inside)
+			}
+			order = append(order, p.Name())
+			p.Delay(10)
+			inside--
+			p.Unlock(m)
+		})
+	}
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("end=%d, want 30 (serialized critical sections)", end)
+	}
+	want := []string{"w0", "w1", "w2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO order violated: %v", order)
+		}
+	}
+}
+
+func TestUnlockUnlockedPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Unlock of unlocked mutex did not panic")
+			}
+		}()
+		p.Unlock(&Mutex{})
+	})
+	e.Run()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEngine()
+	b := &Barrier{N: 3}
+	var times []Time
+	for i := 0; i < 3; i++ {
+		d := Time(10 * (i + 1))
+		e.Spawn(fmt.Sprintf("p%d", i), 0, func(p *Proc) {
+			p.Delay(d)
+			p.Arrive(b)
+			times = append(times, p.Now())
+		})
+	}
+	e.Run()
+	for _, tt := range times {
+		if tt != 30 {
+			t.Fatalf("barrier released at %v, want all at 30", times)
+		}
+	}
+}
+
+func TestBarrierOfOne(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("solo", 0, func(p *Proc) {
+		p.Arrive(&Barrier{N: 1})
+		if p.Now() != 0 {
+			t.Error("single-member barrier blocked")
+		}
+	})
+	e.Run()
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlocked engine did not panic")
+		}
+	}()
+	e := NewEngine()
+	m := &Mutex{}
+	e.Spawn("a", 0, func(p *Proc) {
+		p.Lock(m)
+		p.Lock(m) // self-deadlock
+	})
+	e.Run()
+}
+
+func TestEngineAtThunks(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.At(5, func() { fired = append(fired, e.Now()) })
+	e.At(3, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 5 {
+		t.Fatalf("thunks fired at %v, want [3 5]", fired)
+	}
+}
+
+// Property: time observed by a single process is monotonically
+// non-decreasing over an arbitrary sequence of delays and transfers.
+func TestPropTimeMonotone(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 200 {
+			ops = ops[:200]
+		}
+		e := NewEngine()
+		r := &Resource{Name: "bus", BytesPerCycle: 4, Latency: 7}
+		ok := true
+		e.Spawn("p", 0, func(p *Proc) {
+			last := p.Now()
+			for _, op := range ops {
+				if op%2 == 0 {
+					p.Delay(Time(op % 97))
+				} else {
+					p.Transfer(r, int64(op%511)+1)
+				}
+				if p.Now() < last {
+					ok = false
+				}
+				last = p.Now()
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bandwidth resource conserves bytes and its busy time
+// equals ceil(bytes_i / rate) summed over transfers.
+func TestPropResourceAccounting(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) > 100 {
+			sizes = sizes[:100]
+		}
+		e := NewEngine()
+		r := &Resource{Name: "bus", BytesPerCycle: 8, Latency: 3}
+		var total int64
+		var busy Time
+		for _, s := range sizes {
+			n := int64(s) + 1
+			total += n
+			busy += Time((n + 7) / 8)
+		}
+		e.Spawn("p", 0, func(p *Proc) {
+			for _, s := range sizes {
+				p.Transfer(r, int64(s)+1)
+			}
+		})
+		e.Run()
+		return r.TotalBytes == total && r.BusyCycles == busy && r.Transfers == int64(len(sizes))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: back-to-back async transfers on a shared resource complete
+// no earlier than bandwidth allows: completion_k >= sum(busy_1..k).
+func TestPropBandwidthLowerBound(t *testing.T) {
+	f := func(sizes []uint16, nprocs uint8) bool {
+		np := int(nprocs%4) + 1
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		e := NewEngine()
+		r := &Resource{Name: "bus", BytesPerCycle: 16, Latency: 11}
+		var totalBusy Time
+		for _, s := range sizes {
+			totalBusy += Time((int64(s) + 15) / 16)
+		}
+		for i := 0; i < np; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), 0, func(p *Proc) {
+				for j, s := range sizes {
+					if j%np == i {
+						p.Transfer(r, int64(s))
+					}
+				}
+			})
+		}
+		end := e.Run()
+		return end >= totalBusy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTwicePanics(t *testing.T) {
+	e := NewEngine()
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Run did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestUtilization(t *testing.T) {
+	e := NewEngine()
+	r := &Resource{Name: "bus", BytesPerCycle: 1, Latency: 0}
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Transfer(r, 50)
+		p.Delay(50)
+	})
+	end := e.Run()
+	if u := r.Utilization(end); u != 0.5 {
+		t.Fatalf("utilization %v, want 0.5", u)
+	}
+	if r.Utilization(0) != 0 {
+		t.Fatal("utilization at zero time should be 0")
+	}
+}
+
+func TestAtClampsPastTimes(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("p", 0, func(p *Proc) {
+		p.Delay(100)
+		p.Engine().At(50, func() { order = append(order, "past") }) // clamped to now
+		p.Delay(10)
+		order = append(order, "after")
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "past" || order[1] != "after" {
+		t.Fatalf("order: %v", order)
+	}
+}
+
+func TestSpawnClampsPastStart(t *testing.T) {
+	e := NewEngine()
+	var started Time
+	e.Spawn("a", 0, func(p *Proc) {
+		p.Delay(40)
+		p.Engine().Spawn("b", 10, func(q *Proc) { started = q.Now() })
+	})
+	e.Run()
+	if started != 40 {
+		t.Fatalf("late spawn started at %d, want clamped 40", started)
+	}
+}
+
+func TestResourceZeroBandwidthPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-bandwidth resource accepted")
+			}
+		}()
+		p.Transfer(&Resource{Name: "bad"}, 10)
+	})
+	e.Run()
+}
+
+func TestBarrierInvalidNPanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", 0, func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for N=0 barrier")
+			}
+		}()
+		p.Arrive(&Barrier{})
+	})
+	e.Run()
+}
+
+func TestWhenDoneImmediateAndDeferred(t *testing.T) {
+	e := NewEngine()
+	var log []string
+	e.Spawn("p", 0, func(p *Proc) {
+		r := &Resource{Name: "r", BytesPerCycle: 1}
+		c := p.TransferAsync(r, 10)
+		p.Engine().WhenDone(c, func() { log = append(log, "deferred") })
+		p.WaitFor(c)
+		log = append(log, "woken")
+		p.Engine().WhenDone(c, func() { log = append(log, "immediate") })
+	})
+	e.Run()
+	want := []string{"deferred", "woken", "immediate"}
+	for i := range want {
+		if i >= len(log) || log[i] != want[i] {
+			t.Fatalf("log: %v", log)
+		}
+	}
+}
+
+func TestProcNameAndEngineAccessors(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("worker", 0, func(p *Proc) {
+		if p.Name() != "worker" || p.Engine() != e {
+			t.Error("accessors broken")
+		}
+	})
+	e.Run()
+}

@@ -1,0 +1,216 @@
+// Package spu is an instruction-level micro-model of the SPE's
+// execution pipelines, used to derive — rather than assert — the
+// Table 1 conclusion that emulated 32-bit integer multiplies lose to
+// single-precision floats.
+//
+// The SPU issues in order, up to two instructions per cycle: one to the
+// even pipeline (arithmetic) and one to the odd pipeline (loads,
+// stores, shuffles, branches), provided the pair is dependency-free.
+// Both pipelines are fully pipelined (a unit accepts a new instruction
+// every cycle); results become available after the instruction's
+// latency. This captures exactly the properties the paper's Section 4
+// argument rests on: per-instruction latencies, dual-issue slots, and
+// dependency chains.
+package spu
+
+import "fmt"
+
+// Unit is an execution pipeline.
+type Unit int
+
+// The two SPU pipelines.
+const (
+	Even Unit = iota // fixed/float arithmetic
+	Odd              // load/store, shuffle, branch
+)
+
+// Op describes an instruction class.
+type Op struct {
+	Name    string
+	Unit    Unit
+	Latency int
+}
+
+// The instruction classes used by the DWT kernels, with the latencies
+// of the paper's Table 1 (plus the standard values for the rest of the
+// SPU ISA, from the Cell handbook).
+var (
+	OpA     = Op{"a", Even, 2}     // add word (Table 1)
+	OpMpyh  = Op{"mpyh", Even, 7}  // 16-bit multiply high (Table 1)
+	OpMpyu  = Op{"mpyu", Even, 7}  // 16-bit multiply unsigned (Table 1)
+	OpFm    = Op{"fm", Even, 6}    // float multiply (Table 1)
+	OpFma   = Op{"fma", Even, 6}   // fused multiply-add
+	OpFa    = Op{"fa", Even, 6}    // float add
+	OpShl   = Op{"shl", Even, 4}   // shift left word
+	OpRotmi = Op{"rotmi", Even, 4} // rotate/shift right immediate
+	OpLqd   = Op{"lqd", Odd, 6}    // quadword load from Local Store
+	OpStqd  = Op{"stqd", Odd, 6}   // quadword store
+	OpShufb = Op{"shufb", Odd, 4}  // shuffle bytes
+)
+
+// Instr is one instruction: an op, a destination register and source
+// registers. Register -1 means "no register" (immediate or none).
+type Instr struct {
+	Op   Op
+	Dst  int
+	Srcs []int
+}
+
+// I builds an instruction.
+func I(op Op, dst int, srcs ...int) Instr { return Instr{Op: op, Dst: dst, Srcs: srcs} }
+
+// Schedule runs the program through the in-order dual-issue model and
+// returns the cycle at which the last result becomes available.
+func Schedule(prog []Instr) int {
+	ready := map[int]int{} // register -> cycle its value is available
+	cycle := 0
+	end := 0
+	i := 0
+	for i < len(prog) {
+		// Earliest cycle instruction i can issue: all sources ready.
+		issueAt := func(in Instr, at int) int {
+			for _, s := range in.Srcs {
+				if s >= 0 && ready[s] > at {
+					at = ready[s]
+				}
+			}
+			return at
+		}
+		first := prog[i]
+		c := issueAt(first, cycle)
+		issue := func(in Instr, at int) {
+			done := at + in.Op.Latency
+			if in.Dst >= 0 {
+				ready[in.Dst] = done
+			}
+			if done > end {
+				end = done
+			}
+		}
+		issue(first, c)
+		i++
+		// Dual issue: the next instruction may pair in the same cycle if
+		// it uses the other pipeline and does not depend on `first`.
+		if i < len(prog) {
+			second := prog[i]
+			if second.Op.Unit != first.Op.Unit && issueAt(second, c) == c && !depends(second, first) {
+				issue(second, c)
+				i++
+			}
+		}
+		cycle = c + 1 // in-order: next issue no earlier than the next cycle
+	}
+	return end
+}
+
+func depends(b, a Instr) bool {
+	for _, s := range b.Srcs {
+		if s >= 0 && s == a.Dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Mul32Kernel builds n emulated 32-bit vector multiplies, the SPU
+// sequence for a*b when only 16-bit multipliers exist:
+//
+//	mpyh t0,a,b ; mpyh t1,b,a ; mpyu t2,a,b ; a t3,t0,t1 ; a d,t3,t2
+//
+// Instructions are emitted phase-ordered (all multiplies, then the add
+// trees), the software-pipelined order an unrolled SPU loop uses, so
+// steady-state throughput is visible to the in-order scheduler.
+func Mul32Kernel(n int) []Instr {
+	base := 100
+	var mpys, add1, add2 []Instr
+	for k := 0; k < n; k++ {
+		a, b := 2*k, 2*k+1 // inputs assumed resident
+		t0, t1, t2, t3, d := base, base+1, base+2, base+3, base+4
+		base += 5
+		mpys = append(mpys,
+			I(OpMpyh, t0, a, b),
+			I(OpMpyh, t1, b, a),
+			I(OpMpyu, t2, a, b))
+		add1 = append(add1, I(OpA, t3, t0, t1))
+		add2 = append(add2, I(OpA, d, t3, t2))
+	}
+	prog := append(mpys, add1...)
+	return append(prog, add2...)
+}
+
+// FloatMulKernel builds n independent float vector multiplies.
+func FloatMulKernel(n int) []Instr {
+	var prog []Instr
+	for k := 0; k < n; k++ {
+		prog = append(prog, I(OpFm, 100+k, 2*k, 2*k+1))
+	}
+	return prog
+}
+
+// Lift97FloatKernel models one 9/7 lifting step over n vectors:
+// per vector, d += c*(e0+e1): one fa + one fma, with a load and store
+// slotted on the odd pipe. Phase-ordered for steady-state throughput.
+func Lift97FloatKernel(n int) []Instr {
+	var loads, fas, fmas, stores []Instr
+	reg := 10000
+	for k := 0; k < n; k++ {
+		e0, e1, d := 3*k, 3*k+1, 3*k+2
+		sum, out := reg, reg+1
+		reg += 2
+		loads = append(loads, I(OpLqd, e1))
+		fas = append(fas, I(OpFa, sum, e0, e1))
+		fmas = append(fmas, I(OpFma, out, sum, d))
+		stores = append(stores, I(OpStqd, -1, out))
+	}
+	prog := append(loads, fas...)
+	prog = append(prog, fmas...)
+	return append(prog, stores...)
+}
+
+// Lift97FixedKernel is the same lifting step with Q13 fixed-point
+// arithmetic: the multiply becomes the 5-instruction 32-bit emulation
+// plus a rounding add and shift. Phase-ordered like the float kernel.
+func Lift97FixedKernel(n int) []Instr {
+	phases := make([][]Instr, 10)
+	reg := 10000
+	for k := 0; k < n; k++ {
+		e0, e1, d := 3*k, 3*k+1, 3*k+2
+		sum := reg
+		t0, t1, t2, t3, m := reg+1, reg+2, reg+3, reg+4, reg+5
+		r, sh, out := reg+6, reg+7, reg+8
+		reg += 9
+		phases[0] = append(phases[0], I(OpLqd, e1))
+		phases[1] = append(phases[1], I(OpA, sum, e0, e1))
+		// 32-bit multiply emulation of c*(e0+e1).
+		phases[2] = append(phases[2],
+			I(OpMpyh, t0, sum),
+			I(OpMpyh, t1, sum),
+			I(OpMpyu, t2, sum))
+		phases[3] = append(phases[3], I(OpA, t3, t0, t1))
+		phases[4] = append(phases[4], I(OpA, m, t3, t2))
+		// Rounding add, shift back, accumulate, store.
+		phases[5] = append(phases[5], I(OpA, r, m))
+		phases[6] = append(phases[6], I(OpRotmi, sh, r))
+		phases[7] = append(phases[7], I(OpA, out, sh, d))
+		phases[8] = append(phases[8], I(OpStqd, -1, out))
+	}
+	var prog []Instr
+	for _, ph := range phases {
+		prog = append(prog, ph...)
+	}
+	return prog
+}
+
+// CyclesPer runs a kernel generator at a steady-state size and reports
+// cycles per iteration.
+func CyclesPer(gen func(n int) []Instr, n int) float64 {
+	if n < 1 {
+		panic("spu: CyclesPer needs n >= 1")
+	}
+	return float64(Schedule(gen(n))) / float64(n)
+}
+
+// String renders an instruction for diagnostics.
+func (in Instr) String() string {
+	return fmt.Sprintf("%s r%d %v", in.Op.Name, in.Dst, in.Srcs)
+}

@@ -1,0 +1,106 @@
+package spu
+
+import (
+	"testing"
+
+	"j2kcell/internal/cell"
+)
+
+func TestSingleInstructionLatency(t *testing.T) {
+	for _, c := range []struct {
+		op   Op
+		want int
+	}{{OpA, 2}, {OpMpyh, 7}, {OpFm, 6}, {OpLqd, 6}} {
+		got := Schedule([]Instr{I(c.op, 10, 0, 1)})
+		if got != c.want {
+			t.Errorf("%s: %d cycles, want %d", c.op.Name, got, c.want)
+		}
+	}
+}
+
+func TestDependencyChain(t *testing.T) {
+	// a r2,r0,r1 ; a r3,r2,r1 — the second waits for the first.
+	prog := []Instr{I(OpA, 2, 0, 1), I(OpA, 3, 2, 1)}
+	if got := Schedule(prog); got != 4 {
+		t.Fatalf("chained adds: %d cycles, want 4", got)
+	}
+}
+
+func TestIndependentSameUnitPipelines(t *testing.T) {
+	// Two independent adds on the even pipe: second issues next cycle.
+	prog := []Instr{I(OpA, 2, 0, 1), I(OpA, 3, 0, 1)}
+	if got := Schedule(prog); got != 3 {
+		t.Fatalf("pipelined adds: %d cycles, want 3", got)
+	}
+}
+
+func TestDualIssue(t *testing.T) {
+	// An even add and an odd load pair in one cycle.
+	prog := []Instr{I(OpA, 2, 0, 1), I(OpLqd, 3)}
+	if got := Schedule(prog); got != 6 {
+		t.Fatalf("dual issue: %d cycles, want 6 (load latency)", got)
+	}
+	// A dependent odd instruction cannot pair.
+	prog = []Instr{I(OpA, 2, 0, 1), I(OpStqd, -1, 2)}
+	if got := Schedule(prog); got != 2+6 {
+		t.Fatalf("dependent pair: %d cycles, want 8", got)
+	}
+}
+
+func TestMul32LatencyMatchesTable1Derivation(t *testing.T) {
+	// One emulated 32-bit multiply: 7-cycle mpy chain + two dependent
+	// adds = 11 cycles, the cell package's FixedMul32Latency.
+	got := Schedule(Mul32Kernel(1))
+	if got != cell.FixedMul32Latency {
+		t.Fatalf("emulated multiply latency %d, want %d", got, cell.FixedMul32Latency)
+	}
+	if fl := Schedule(FloatMulKernel(1)); fl != cell.FloatMul32Latency {
+		t.Fatalf("float multiply latency %d, want %d", fl, cell.FloatMul32Latency)
+	}
+}
+
+func TestSteadyStateThroughput(t *testing.T) {
+	// Independent float multiplies sustain ~1/cycle; the emulated
+	// multiply needs ~5 even-pipe slots each.
+	fm := CyclesPer(FloatMulKernel, 64)
+	if fm > 1.2 {
+		t.Fatalf("float multiply throughput %.2f cycles, want ~1", fm)
+	}
+	mul := CyclesPer(Mul32Kernel, 64)
+	if mul < 4.5 || mul > 6 {
+		t.Fatalf("emulated multiply throughput %.2f cycles, want ~5", mul)
+	}
+}
+
+func TestLiftingKernelRatioSupportsCostModel(t *testing.T) {
+	// The scheduled fixed/float ratio of the lifting inner loop must
+	// agree with the calibrated cost-model ratio to ~25%: the cost
+	// model's DWT97Fix/DWT97 is supposed to be this physics.
+	fl := CyclesPer(Lift97FloatKernel, 128)
+	fx := CyclesPer(Lift97FixedKernel, 128)
+	scheduled := fx / fl
+	model := cell.SPECosts.DWT97Fix / cell.SPECosts.DWT97
+	if scheduled < 1.5 {
+		t.Fatalf("fixed lifting (%.2f cyc) should clearly exceed float (%.2f cyc)", fx, fl)
+	}
+	ratio := scheduled / model
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Fatalf("scheduled ratio %.2f vs cost-model ratio %.2f diverge (x%.2f)", scheduled, model, ratio)
+	}
+}
+
+func TestCyclesPerPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	CyclesPer(FloatMulKernel, 0)
+}
+
+func TestInstrString(t *testing.T) {
+	s := I(OpFm, 5, 1, 2).String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,200 @@
+package t1
+
+import (
+	"fmt"
+
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/mq"
+)
+
+// decoder mirrors the encoder pass for pass.
+type decoder struct {
+	*coder
+	mq        *mq.Decoder
+	lastPlane []int8 // lowest plane at which each coefficient was coded
+}
+
+// Decode reconstructs a w×h code block from its Tier-1 bitstream into
+// coef (row stride given). numBPS and numPasses come from the Tier-2
+// packet headers; segLens gives the per-pass segment lengths for
+// ModeTermAll blocks (ignored for ModeSingle). Decoding a truncated
+// pass set yields the standard midpoint reconstruction of whatever
+// precision each coefficient reached.
+func Decode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, numBPS, numPasses int, data []byte, segLens []int) error {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			coef[y*stride+x] = 0
+		}
+	}
+	if numBPS == 0 || numPasses == 0 {
+		return nil
+	}
+	c := newCoder(w, h, orient)
+	d := &decoder{coder: c, lastPlane: make([]int8, w*h)}
+
+	if mode == ModeTermAll && len(segLens) < numPasses {
+		return fmt.Errorf("t1: %d passes but only %d segment lengths", numPasses, len(segLens))
+	}
+	if mode == ModeSingle {
+		d.mq = mq.NewDecoder(data)
+	}
+
+	pass, off := 0, 0
+	nextSeg := func() {
+		if mode != ModeTermAll {
+			return
+		}
+		n := segLens[pass]
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		d.mq = mq.NewDecoder(data[off : off+n])
+		off += n
+	}
+
+	for p := numBPS - 1; p >= 0 && pass < numPasses; p-- {
+		if p != numBPS-1 {
+			if pass < numPasses {
+				nextSeg()
+				d.sigPass(p)
+				pass++
+			}
+			if pass < numPasses {
+				nextSeg()
+				d.refPass(p)
+				pass++
+			}
+		}
+		if pass < numPasses {
+			nextSeg()
+			d.clnPass(p)
+			pass++
+		}
+		c.clearVisit()
+	}
+
+	// Midpoint reconstruction at each coefficient's reached precision.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			m := c.mag[i]
+			if m == 0 {
+				continue
+			}
+			if lp := d.lastPlane[i]; lp > 0 {
+				m += 1 << uint(lp-1)
+			}
+			v := int32(m)
+			if c.flags[c.fidx(x, y)]&fNeg != 0 {
+				v = -v
+			}
+			coef[y*stride+x] = v
+		}
+	}
+	return nil
+}
+
+func (d *decoder) decodeBit(ctx int) int { return d.mq.Decode(&d.cx[ctx]) }
+
+// decodeSignificance reads the sign of a newly significant coefficient
+// and sets its flags and magnitude bit.
+func (d *decoder) decodeSignificance(x, y, fi, p int) {
+	ctx, xor := d.scContext(fi)
+	bit := d.decodeBit(ctx)
+	if uint8(bit)^xor == 1 {
+		d.flags[fi] |= fNeg
+	}
+	d.flags[fi] |= fSig
+	d.mag[y*d.w+x] |= 1 << uint(p)
+	d.lastPlane[y*d.w+x] = int8(p)
+}
+
+func (d *decoder) sigPass(p int) {
+	for y0 := 0; y0 < d.h; y0 += 4 {
+		for x := 0; x < d.w; x++ {
+			ymax := y0 + 4
+			if ymax > d.h {
+				ymax = d.h
+			}
+			for y := y0; y < ymax; y++ {
+				fi := d.fidx(x, y)
+				if d.flags[fi]&fSig != 0 {
+					continue
+				}
+				zc := d.zcContext(fi)
+				if zc == 0 {
+					continue
+				}
+				if d.decodeBit(ctxZC+zc) == 1 {
+					d.decodeSignificance(x, y, fi, p)
+				}
+				d.flags[fi] |= fVisit
+			}
+		}
+	}
+}
+
+func (d *decoder) refPass(p int) {
+	for y0 := 0; y0 < d.h; y0 += 4 {
+		for x := 0; x < d.w; x++ {
+			ymax := y0 + 4
+			if ymax > d.h {
+				ymax = d.h
+			}
+			for y := y0; y < ymax; y++ {
+				fi := d.fidx(x, y)
+				if d.flags[fi]&(fSig|fVisit) != fSig {
+					continue
+				}
+				bit := d.decodeBit(d.mrContext(fi))
+				d.mag[y*d.w+x] |= uint32(bit) << uint(p)
+				d.lastPlane[y*d.w+x] = int8(p)
+				d.flags[fi] |= fRefined
+			}
+		}
+	}
+}
+
+func (d *decoder) clnPass(p int) {
+	for y0 := 0; y0 < d.h; y0 += 4 {
+		for x := 0; x < d.w; x++ {
+			fullStripe := y0+4 <= d.h
+			runLen := -1
+			if fullStripe {
+				ok := true
+				for y := y0; y < y0+4 && ok; y++ {
+					fi := d.fidx(x, y)
+					if d.flags[fi]&(fSig|fVisit) != 0 || d.zcContext(fi) != 0 {
+						ok = false
+					}
+				}
+				if ok {
+					if d.decodeBit(ctxRL) == 0 {
+						continue
+					}
+					runLen = d.decodeBit(ctxUNI)<<1 | d.decodeBit(ctxUNI)
+					y := y0 + runLen
+					d.decodeSignificance(x, y, d.fidx(x, y), p)
+				}
+			}
+			start := y0
+			if runLen >= 0 {
+				start = y0 + runLen + 1
+			}
+			ymax := y0 + 4
+			if ymax > d.h {
+				ymax = d.h
+			}
+			for y := start; y < ymax; y++ {
+				fi := d.fidx(x, y)
+				if d.flags[fi]&(fSig|fVisit) != 0 {
+					continue
+				}
+				zc := d.zcContext(fi)
+				if d.decodeBit(ctxZC+zc) == 1 {
+					d.decodeSignificance(x, y, fi, p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package t1
+
+import (
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/mq"
+)
+
+// encoder drives the three coding passes over a block.
+type encoder struct {
+	*coder
+	mq    mq.Encoder
+	mode  Mode
+	out   []byte  // concatenated segments
+	gain2 float64 // squared synthesis gain for distortion weighting
+
+	// Per-pass accumulators.
+	scanned, coded int
+	distDelta      float64
+}
+
+// Encode runs Tier-1 on a w×h code block of signed coefficients read
+// from coef with the given row stride. orient selects the context
+// tables, mode the termination style, and gain the subband synthesis
+// L2 norm used to weight distortion. The input is not modified.
+func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain float64) *Block {
+	if w <= 0 || h <= 0 {
+		panic("t1: empty code block")
+	}
+	c := newCoder(w, h, orient)
+	maxMag := uint32(0)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := coef[y*stride+x]
+			m := uint32(v)
+			if v < 0 {
+				m = uint32(-v)
+				c.flags[c.fidx(x, y)] |= fNeg
+			}
+			c.mag[y*w+x] = m
+			if m > maxMag {
+				maxMag = m
+			}
+		}
+	}
+	numBPS := bitLen(maxMag)
+	blk := &Block{W: w, H: h, Orient: orient, NumBPS: numBPS, Mode: mode}
+
+	gain2 := gain * gain
+	for _, m := range c.mag {
+		blk.Dist0 += float64(m) * float64(m) * gain2
+	}
+	if numBPS == 0 {
+		return blk
+	}
+
+	e := &encoder{coder: c, mode: mode, gain2: gain2}
+	e.mq.Reset()
+
+	for p := numBPS - 1; p >= 0; p-- {
+		if p != numBPS-1 {
+			e.runPass(blk, PassSig, p)
+			e.runPass(blk, PassRef, p)
+		}
+		e.runPass(blk, PassCln, p)
+		c.clearVisit()
+	}
+	if mode == ModeSingle {
+		e.out = append(e.out, e.mq.Flush()...)
+		for i := range blk.Passes {
+			blk.Passes[i].CumLen = len(e.out) // only the whole thing is decodable
+		}
+		blk.Passes[len(blk.Passes)-1].SegLen = len(e.out)
+	}
+	blk.Data = e.out
+	return blk
+}
+
+// runPass executes one coding pass and records its statistics.
+func (e *encoder) runPass(blk *Block, t PassType, plane int) {
+	e.scanned, e.coded, e.distDelta = 0, 0, 0
+	switch t {
+	case PassSig:
+		e.sigPass(plane)
+	case PassRef:
+		e.refPass(plane)
+	case PassCln:
+		e.clnPass(plane)
+	}
+	ps := Pass{Type: t, Plane: plane, DistDelta: e.distDelta, Scanned: e.scanned, Coded: e.coded}
+	if e.mode == ModeTermAll {
+		seg := e.mq.Flush()
+		e.out = append(e.out, seg...)
+		ps.SegLen = len(seg)
+		ps.CumLen = len(e.out)
+		e.mq.Reset()
+		// TERMALL restarts only the MQ codeword, not the contexts.
+	} else {
+		ps.CumLen = e.mq.NumBytes() // provisional; fixed after final flush
+	}
+	blk.Passes = append(blk.Passes, ps)
+}
+
+func (e *encoder) encodeBit(d int, ctx int) {
+	e.mq.Encode(d, &e.cx[ctx])
+	e.coded++
+}
+
+// sigDistDelta is the weighted distortion reduction when a coefficient
+// with true magnitude m becomes significant at plane p (reconstruction
+// moves from 0 to the midpoint of its quantization cell).
+func (e *encoder) sigDistDelta(m uint32, p int) float64 {
+	rec := float64((m>>uint(p))<<uint(p)) + recHalf(p)
+	before := float64(m)
+	after := float64(m) - rec
+	return (before*before - after*after) * e.gain2
+}
+
+// refDistDelta is the reduction from refining at plane p: precision
+// improves from plane p+1 to plane p.
+func (e *encoder) refDistDelta(m uint32, p int) float64 {
+	recB := float64((m>>uint(p+1))<<uint(p+1)) + recHalf(p+1)
+	recA := float64((m>>uint(p))<<uint(p)) + recHalf(p)
+	db := float64(m) - recB
+	da := float64(m) - recA
+	return (db*db - da*da) * e.gain2
+}
+
+// recHalf is the midpoint offset for plane p.
+func recHalf(p int) float64 {
+	if p == 0 {
+		return 0.5
+	}
+	return float64(uint32(1) << uint(p-1))
+}
+
+// codeSignificance codes the sign of a coefficient that just became
+// significant and updates its flags.
+func (e *encoder) codeSignificance(x, y, fi int) {
+	ctx, xor := e.scContext(fi)
+	sign := 0
+	if e.flags[fi]&fNeg != 0 {
+		sign = 1
+	}
+	e.encodeBit(sign^int(xor), ctx)
+	e.flags[fi] |= fSig
+}
+
+// sigPass is the significance propagation pass: insignificant
+// coefficients with a preferred (non-zero-context) neighborhood.
+func (e *encoder) sigPass(p int) {
+	for y0 := 0; y0 < e.h; y0 += 4 {
+		for x := 0; x < e.w; x++ {
+			ymax := y0 + 4
+			if ymax > e.h {
+				ymax = e.h
+			}
+			for y := y0; y < ymax; y++ {
+				fi := e.fidx(x, y)
+				e.scanned++
+				if e.flags[fi]&fSig != 0 {
+					continue
+				}
+				zc := e.zcContext(fi)
+				if zc == 0 {
+					continue // not in the preferred neighborhood
+				}
+				bit := int((e.mag[y*e.w+x] >> uint(p)) & 1)
+				e.encodeBit(bit, ctxZC+zc)
+				if bit == 1 {
+					e.codeSignificance(x, y, fi)
+					e.distDelta += e.sigDistDelta(e.mag[y*e.w+x], p)
+				}
+				e.flags[fi] |= fVisit
+			}
+		}
+	}
+}
+
+// refPass is the magnitude refinement pass: coefficients significant
+// before this plane.
+func (e *encoder) refPass(p int) {
+	for y0 := 0; y0 < e.h; y0 += 4 {
+		for x := 0; x < e.w; x++ {
+			ymax := y0 + 4
+			if ymax > e.h {
+				ymax = e.h
+			}
+			for y := y0; y < ymax; y++ {
+				fi := e.fidx(x, y)
+				e.scanned++
+				if e.flags[fi]&(fSig|fVisit) != fSig {
+					continue
+				}
+				bit := int((e.mag[y*e.w+x] >> uint(p)) & 1)
+				e.encodeBit(bit, e.mrContext(fi))
+				e.distDelta += e.refDistDelta(e.mag[y*e.w+x], p)
+				e.flags[fi] |= fRefined
+			}
+		}
+	}
+}
+
+// clnPass is the cleanup pass with run-length coding of all-quiet
+// stripe columns.
+func (e *encoder) clnPass(p int) {
+	for y0 := 0; y0 < e.h; y0 += 4 {
+		for x := 0; x < e.w; x++ {
+			fullStripe := y0+4 <= e.h
+			runLen := -1
+			if fullStripe {
+				// Run-length mode applies when all four coefficients
+				// are insignificant, unvisited, and context-free.
+				ok := true
+				for y := y0; y < y0+4 && ok; y++ {
+					fi := e.fidx(x, y)
+					if e.flags[fi]&(fSig|fVisit) != 0 || e.zcContext(fi) != 0 {
+						ok = false
+					}
+				}
+				if ok {
+					runLen = 4
+					for y := y0; y < y0+4; y++ {
+						if (e.mag[y*e.w+x]>>uint(p))&1 == 1 {
+							runLen = y - y0
+							break
+						}
+					}
+					e.scanned += 4
+					if runLen == 4 {
+						e.encodeBit(0, ctxRL)
+						continue
+					}
+					e.encodeBit(1, ctxRL)
+					e.encodeBit((runLen>>1)&1, ctxUNI)
+					e.encodeBit(runLen&1, ctxUNI)
+					// The coefficient at y0+runLen is significant; its
+					// significance bit is implied, only the sign is coded.
+					y := y0 + runLen
+					fi := e.fidx(x, y)
+					e.codeSignificance(x, y, fi)
+					e.distDelta += e.sigDistDelta(e.mag[y*e.w+x], p)
+				}
+			}
+			start := y0
+			if runLen >= 0 {
+				start = y0 + runLen + 1
+			}
+			ymax := y0 + 4
+			if ymax > e.h {
+				ymax = e.h
+			}
+			for y := start; y < ymax; y++ {
+				fi := e.fidx(x, y)
+				e.scanned++
+				if e.flags[fi]&(fSig|fVisit) != 0 {
+					continue
+				}
+				zc := e.zcContext(fi)
+				bit := int((e.mag[y*e.w+x] >> uint(p)) & 1)
+				e.encodeBit(bit, ctxZC+zc)
+				if bit == 1 {
+					e.codeSignificance(x, y, fi)
+					e.distDelta += e.sigDistDelta(e.mag[y*e.w+x], p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+// Package t1 implements EBCOT Tier-1 coding (ITU-T T.800 Annex D): the
+// embedded bit-plane coder that turns a code block of quantized wavelet
+// coefficients into an arithmetic-coded bitstream, three coding passes
+// per bit plane — significance propagation, magnitude refinement, and
+// cleanup — over a stripe-oriented scan with 19 adaptive MQ contexts.
+//
+// The encoder records, for every coding pass, its cumulative byte cost
+// and the weighted distortion reduction it buys; rate control (package
+// rate) selects truncation points from exactly these numbers, and the
+// work-queue cost model prices Tier-1 on the Cell from the scan/decision
+// counters. A full decoder is provided for round-trip verification.
+package t1
+
+import (
+	"fmt"
+
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/mq"
+)
+
+// Mode selects the codeword segmentation style.
+type Mode int
+
+// Coding modes.
+const (
+	// ModeSingle codes all passes into one MQ segment terminated once.
+	// Minimal overhead; used for lossless encoding, where nothing is
+	// truncated.
+	ModeSingle Mode = iota
+	// ModeTermAll terminates the MQ coder after every pass (the
+	// standard's TERMALL style), making every pass boundary an exact,
+	// independently decodable truncation point for rate control.
+	ModeTermAll
+)
+
+// PassType identifies one of the three coding passes.
+type PassType int
+
+// Pass types in coding order within a bit plane.
+const (
+	PassSig PassType = iota // significance propagation
+	PassRef                 // magnitude refinement
+	PassCln                 // cleanup
+)
+
+func (p PassType) String() string {
+	switch p {
+	case PassSig:
+		return "SPP"
+	case PassRef:
+		return "MRP"
+	case PassCln:
+		return "CLP"
+	}
+	return fmt.Sprintf("PassType(%d)", int(p))
+}
+
+// Pass describes one coding pass of an encoded block.
+type Pass struct {
+	Type      PassType
+	Plane     int     // bit plane index (0 = LSB)
+	CumLen    int     // cumulative segment bytes through this pass
+	SegLen    int     // this pass's own segment length (ModeTermAll)
+	DistDelta float64 // weighted distortion reduction of this pass
+	Scanned   int     // coefficients examined
+	Coded     int     // MQ decisions coded
+}
+
+// Block is the Tier-1 encoding of one code block.
+type Block struct {
+	W, H   int
+	Orient dwt.Orient
+	NumBPS int // bit planes actually coded (0 if all-zero block)
+	Mode   Mode
+	Passes []Pass
+	Data   []byte  // concatenated codeword segments
+	Dist0  float64 // weighted distortion with nothing decoded
+}
+
+// TotalScanned sums the scan counter over all passes.
+func (b *Block) TotalScanned() int {
+	n := 0
+	for _, p := range b.Passes {
+		n += p.Scanned
+	}
+	return n
+}
+
+// TotalCoded sums the decision counter over all passes.
+func (b *Block) TotalCoded() int {
+	n := 0
+	for _, p := range b.Passes {
+		n += p.Coded
+	}
+	return n
+}
+
+// Context indices (T.800 Table D.1–D.4 numbering: 9 zero-coding, 5
+// sign-coding, 3 magnitude-refinement, run-length, uniform).
+const (
+	ctxZC  = 0  // 0..8
+	ctxSC  = 9  // 9..13
+	ctxMR  = 14 // 14..16
+	ctxRL  = 17
+	ctxUNI = 18
+	nctx   = 19
+)
+
+// newContexts returns the standard initial context states: everything
+// at table state 0 except zero-coding context 0 (state 4), run-length
+// (state 3) and uniform (state 46).
+func newContexts() [nctx]mq.Context {
+	var cx [nctx]mq.Context
+	cx[ctxZC] = mq.NewContext(4)
+	cx[ctxRL] = mq.NewContext(3)
+	cx[ctxUNI] = mq.NewContext(46)
+	return cx
+}
+
+// Flag bits per coefficient (stored with a one-pixel border so
+// neighborhood tests need no bounds checks).
+const (
+	fSig     uint8 = 1 << 0 // significant
+	fVisit   uint8 = 1 << 1 // coded in this plane's significance pass
+	fRefined uint8 = 1 << 2 // has been refined at least once
+	fNeg     uint8 = 1 << 3 // sign of the coefficient (set = negative)
+)
+
+// coder holds the shared geometry and state of an encode or decode.
+type coder struct {
+	w, h   int
+	orient dwt.Orient
+	flags  []uint8 // (w+2) x (h+2), row-major with border
+	fw     int     // flags row stride = w+2
+	mag    []uint32
+	cx     [nctx]mq.Context
+}
+
+func newCoder(w, h int, orient dwt.Orient) *coder {
+	return &coder{
+		w: w, h: h, orient: orient,
+		flags: make([]uint8, (w+2)*(h+2)),
+		fw:    w + 2,
+		mag:   make([]uint32, w*h),
+		cx:    newContexts(),
+	}
+}
+
+// fidx maps block coordinates to the bordered flags array.
+func (c *coder) fidx(x, y int) int { return (y+1)*c.fw + (x + 1) }
+
+// zcContext computes the zero-coding context from the 3×3 significance
+// neighborhood, per Table D.1 (orientation-dependent).
+func (c *coder) zcContext(fi int) int {
+	f := c.flags
+	h := int(f[fi-1]&fSig) + int(f[fi+1]&fSig)
+	v := int(f[fi-c.fw]&fSig) + int(f[fi+c.fw]&fSig)
+	d := int(f[fi-c.fw-1]&fSig) + int(f[fi-c.fw+1]&fSig) +
+		int(f[fi+c.fw-1]&fSig) + int(f[fi+c.fw+1]&fSig)
+	if c.orient == dwt.HL {
+		h, v = v, h // HL band: swap the roles of H and V
+	}
+	if c.orient == dwt.HH {
+		switch {
+		case d >= 3:
+			return 8
+		case d == 2:
+			if h+v >= 1 {
+				return 7
+			}
+			return 6
+		case d == 1:
+			switch {
+			case h+v >= 2:
+				return 5
+			case h+v == 1:
+				return 4
+			default:
+				return 3
+			}
+		default:
+			switch {
+			case h+v >= 2:
+				return 2
+			case h+v == 1:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	switch {
+	case h == 2:
+		return 8
+	case h == 1:
+		switch {
+		case v >= 1:
+			return 7
+		case d >= 1:
+			return 6
+		default:
+			return 5
+		}
+	default:
+		switch {
+		case v == 2:
+			return 4
+		case v == 1:
+			return 3
+		case d >= 2:
+			return 2
+		case d == 1:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// scContribution returns the clamped sign contribution (-1, 0, +1) of
+// the neighbor at flags index fi.
+func (c *coder) scContribution(fi int) int {
+	f := c.flags[fi]
+	if f&fSig == 0 {
+		return 0
+	}
+	if f&fNeg != 0 {
+		return -1
+	}
+	return 1
+}
+
+// scContext computes the sign-coding context and XOR bit (Table D.3).
+func (c *coder) scContext(fi int) (ctx int, xor uint8) {
+	h := c.scContribution(fi-1) + c.scContribution(fi+1)
+	v := c.scContribution(fi-c.fw) + c.scContribution(fi+c.fw)
+	clamp := func(x int) int {
+		if x > 1 {
+			return 1
+		}
+		if x < -1 {
+			return -1
+		}
+		return x
+	}
+	h, v = clamp(h), clamp(v)
+	switch {
+	case h == 1:
+		switch v {
+		case 1:
+			return ctxSC + 4, 0
+		case 0:
+			return ctxSC + 3, 0
+		default:
+			return ctxSC + 2, 0
+		}
+	case h == 0:
+		switch v {
+		case 1:
+			return ctxSC + 1, 0
+		case 0:
+			return ctxSC, 0
+		default:
+			return ctxSC + 1, 1
+		}
+	default:
+		switch v {
+		case 1:
+			return ctxSC + 2, 1
+		case 0:
+			return ctxSC + 3, 1
+		default:
+			return ctxSC + 4, 1
+		}
+	}
+}
+
+// mrContext computes the magnitude-refinement context (Table D.4).
+func (c *coder) mrContext(fi int) int {
+	f := c.flags
+	if f[fi]&fRefined != 0 {
+		return ctxMR + 2
+	}
+	any := f[fi-1] | f[fi+1] | f[fi-c.fw] | f[fi+c.fw] |
+		f[fi-c.fw-1] | f[fi-c.fw+1] | f[fi+c.fw-1] | f[fi+c.fw+1]
+	if any&fSig != 0 {
+		return ctxMR + 1
+	}
+	return ctxMR
+}
+
+// clearVisit resets the per-plane visit flags.
+func (c *coder) clearVisit() {
+	for i := range c.flags {
+		c.flags[i] &^= fVisit
+	}
+}
+
+// bitLen returns the position of the highest set bit + 1.
+func bitLen(v uint32) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

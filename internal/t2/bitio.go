@@ -1,0 +1,128 @@
+package t2
+
+import "fmt"
+
+// BitWriter writes packet-header bits MSB-first with JPEG2000 bit
+// stuffing: after emitting a 0xFF byte, only seven bits go into the
+// next byte (its MSB is forced to 0), so no 0xFF90+ marker can appear
+// inside a header.
+type BitWriter struct {
+	buf  []byte
+	acc  uint32
+	nacc int // bits accumulated in acc
+	last byte
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(b int) {
+	limit := 8
+	if w.last == 0xFF {
+		limit = 7
+	}
+	w.acc = w.acc<<1 | uint32(b&1)
+	w.nacc++
+	if w.nacc == limit {
+		w.flushByte(limit)
+	}
+}
+
+func (w *BitWriter) flushByte(limit int) {
+	v := byte(w.acc)
+	if limit == 7 {
+		v &= 0x7F
+	}
+	w.buf = append(w.buf, v)
+	w.last = v
+	w.acc, w.nacc = 0, 0
+}
+
+// WriteBits appends the low n bits of v, MSB first.
+func (w *BitWriter) WriteBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v>>uint(i)) & 1)
+	}
+}
+
+// Align pads with zero bits to the next byte boundary (and resolves a
+// trailing 0xFF with a stuffed zero byte, per the standard).
+func (w *BitWriter) Align() {
+	if w.nacc > 0 {
+		limit := 8
+		if w.last == 0xFF {
+			limit = 7
+		}
+		w.acc <<= uint(limit - w.nacc)
+		w.nacc = limit
+		w.flushByte(limit)
+	}
+	if w.last == 0xFF {
+		w.buf = append(w.buf, 0)
+		w.last = 0
+	}
+}
+
+// Bytes returns the written bytes (valid until further writes).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader mirrors BitWriter over a byte slice.
+type BitReader struct {
+	data []byte
+	pos  int
+	acc  byte
+	nacc int
+	last byte
+}
+
+// NewBitReader reads bits from data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{data: data} }
+
+// ReadBit returns the next bit, or an error at end of data.
+func (r *BitReader) ReadBit() (int, error) {
+	if r.nacc == 0 {
+		if r.pos >= len(r.data) {
+			return 0, fmt.Errorf("t2: bit reader exhausted at byte %d", r.pos)
+		}
+		raw := r.data[r.pos]
+		r.pos++
+		if r.last == 0xFF {
+			r.nacc = 7 // stuffed byte: MSB was forced to zero
+			r.acc = raw << 1
+		} else {
+			r.nacc = 8
+			r.acc = raw
+		}
+		r.last = raw
+	}
+	bit := int(r.acc>>7) & 1
+	r.acc <<= 1
+	r.nacc--
+	return bit, nil
+}
+
+// ReadBits reads n bits MSB-first.
+func (r *BitReader) ReadBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// Align skips to the next byte boundary, consuming the stuffed byte
+// after a 0xFF exactly as Align on the writer produced it.
+func (r *BitReader) Align() {
+	r.acc, r.nacc = 0, 0
+	if r.last == 0xFF {
+		if r.pos < len(r.data) {
+			r.pos++
+		}
+		r.last = 0
+	}
+}
+
+// Pos returns the current byte offset (after Align).
+func (r *BitReader) Pos() int { return r.pos }

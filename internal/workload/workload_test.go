@@ -1,0 +1,103 @@
+package workload
+
+import "testing"
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint32() != b.Uint32() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(0).Uint32() == 0 {
+		t.Fatal("zero seed produced zero state")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float(); f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %v", f)
+		}
+	}
+}
+
+func TestDialDeterministic(t *testing.T) {
+	a := Dial(64, 64, 42, 5)
+	b := Dial(64, 64, 42, 5)
+	if !a.Equal(b) {
+		t.Fatal("Dial not deterministic")
+	}
+	c := Dial(64, 64, 43, 5)
+	if a.Equal(c) {
+		t.Fatal("different seeds gave identical images")
+	}
+}
+
+func TestDialGeometry(t *testing.T) {
+	img := Dial(100, 60, 1, 0)
+	if img.W != 100 || img.H != 60 || len(img.Comps) != 3 || img.Depth != 8 {
+		t.Fatalf("geometry: %dx%d, %d comps", img.W, img.H, len(img.Comps))
+	}
+	for _, p := range img.Comps {
+		for y := 0; y < p.H; y++ {
+			for _, v := range p.Row(y) {
+				if v < 0 || v > 255 {
+					t.Fatalf("sample %d out of 8-bit range", v)
+				}
+			}
+		}
+	}
+}
+
+func TestEntropyOrdering(t *testing.T) {
+	// The dial must look statistically like a natural image: more
+	// complex than a gradient, simpler than noise.
+	const w, h = 256, 256
+	eg := Entropy(Gradient(w, h))
+	ed := Entropy(Dial(w, h, 42, 5))
+	en := Entropy(Noise(w, h, 42))
+	if !(eg < ed && ed < en) {
+		t.Fatalf("entropy ordering violated: gradient=%.2f dial=%.2f noise=%.2f", eg, ed, en)
+	}
+	if en < 7.9 {
+		t.Fatalf("noise difference entropy %.2f, want >7.9 bits", en)
+	}
+	if eg > 3 {
+		t.Fatalf("gradient difference entropy %.2f, want small", eg)
+	}
+}
+
+func TestDialHasEdges(t *testing.T) {
+	// Tick marks must produce strong horizontal gradients somewhere.
+	img := Dial(256, 256, 1, 0)
+	p := img.Comps[0]
+	maxGrad := int32(0)
+	for y := 0; y < p.H; y++ {
+		row := p.Row(y)
+		for x := 1; x < len(row); x++ {
+			g := row[x] - row[x-1]
+			if g < 0 {
+				g = -g
+			}
+			if g > maxGrad {
+				maxGrad = g
+			}
+		}
+	}
+	if maxGrad < 80 {
+		t.Fatalf("max gradient %d; dial lacks edges", maxGrad)
+	}
+}
+
+func TestPaperSizedWorkloadBytes(t *testing.T) {
+	// The paper's test file is a 28.3 MB BMP ≈ 3072×3072×3 bytes.
+	const w, h = 3072, 3072
+	if mb := float64(w*h*3) / 1e6; mb < 27 || mb > 30 {
+		t.Fatalf("paper-sized workload is %.1f MB, want ≈28.3", mb)
+	}
+}

@@ -1,0 +1,199 @@
+// Package j2kcell is a from-scratch JPEG2000 still-image codec in pure
+// Go, together with a calibrated performance model of the Cell
+// Broadband Engine that reproduces Kang & Bader, "Optimizing JPEG2000
+// Still Image Encoding on the Cell Broadband Engine" (ICPP 2008).
+//
+// Three encoders share one codec core and emit byte-identical
+// codestreams:
+//
+//   - Encode: the sequential reference (JasPer-equivalent pipeline);
+//   - EncodeParallel: a native Go encoder that runs Tier-1 across a
+//     goroutine worker pool — the practical encoder for library users;
+//   - Simulate: the paper's parallelization executed on the simulated
+//     Cell/B.E. (internal/core), returning the modeled execution
+//     profile used to regenerate the paper's figures.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package j2kcell
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"j2kcell/internal/codec"
+	"j2kcell/internal/core"
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/jp2"
+	"j2kcell/internal/t1"
+	"j2kcell/internal/workload"
+)
+
+// Image is a planar integer image (full-resolution components).
+type Image = imgmodel.Image
+
+// Plane is one image component.
+type Plane = imgmodel.Plane
+
+// Options selects the coding path: Lossless (RCT + 5/3) or lossy
+// (ICT + 9/7 + deadzone quantization), decomposition levels, code block
+// size, and the lossy rate target as a fraction of the raw size.
+type Options = codec.Options
+
+// Stats summarizes an encode.
+type Stats = codec.Stats
+
+// NewImage allocates a w×h image with n zeroed components of the given
+// bit depth.
+func NewImage(w, h, ncomp, depth int) *Image { return imgmodel.NewImage(w, h, ncomp, depth) }
+
+// TestImage renders the deterministic synthetic "watch dial" workload
+// used throughout the benchmarks (a stand-in for the paper's 28.3 MB
+// waltham_dial.bmp).
+func TestImage(w, h int, seed uint32) *Image { return workload.Dial(w, h, seed, 5) }
+
+// Encode compresses img into a JPEG2000 codestream sequentially.
+func Encode(img *Image, opt Options) ([]byte, *Stats, error) {
+	res, err := codec.Encode(img, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Data, &res.Stats, nil
+}
+
+// Decode reconstructs an image from a raw codestream or a JP2 file
+// produced by any of this package's encoders (auto-detected).
+func Decode(data []byte) (*Image, error) { return codec.Decode(data) }
+
+// EncodeJP2 compresses img and wraps the codestream in the JP2 file
+// container (signature, file-type, header and codestream boxes) — the
+// bytes to write to a .jp2 file. Decode accepts both formats.
+func EncodeJP2(img *Image, opt Options) ([]byte, *Stats, error) {
+	data, stats, err := Encode(img, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return WrapJP2(img, data), stats, nil
+}
+
+// WrapJP2 wraps an already-encoded codestream for img in the JP2 file
+// container.
+func WrapJP2(img *Image, codestream []byte) []byte {
+	return jp2.Wrap(jp2.Info{
+		W: img.W, H: img.H, NComp: len(img.Comps), Depth: img.Depth,
+		SRGB: len(img.Comps) == 3,
+	}, codestream)
+}
+
+// DecodeOptions selects progressive decoding subsets: MaxLayers
+// truncates the quality progression, DiscardLevels the resolution
+// progression, Region decodes a spatial window.
+type DecodeOptions = codec.DecodeOptions
+
+// Rect is an image-space rectangle (used for window decoding and tile
+// geometry).
+type Rect = codec.Rect
+
+// DecodeWith reconstructs an image from a subset of the progression —
+// fewer quality layers (for streams encoded with Options.LayerRates)
+// or fewer resolution levels (any stream).
+func DecodeWith(data []byte, opt DecodeOptions) (*Image, error) {
+	return codec.DecodeWith(data, opt)
+}
+
+// DecodeParallel decodes with Tier-1 block decoding spread across
+// `workers` goroutines (0 selects GOMAXPROCS). Output is identical to
+// Decode.
+func DecodeParallel(data []byte, workers int) (*Image, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return codec.DecodeWith(data, codec.DecodeOptions{Workers: workers})
+}
+
+// EncodeParallel compresses img using `workers` goroutines for Tier-1
+// block coding (the dominant stage). workers <= 0 selects GOMAXPROCS.
+// The output is byte-identical to Encode.
+func EncodeParallel(img *Image, opt Options, workers int) ([]byte, *Stats, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := validate(img); err != nil {
+		return nil, nil, err
+	}
+	if opt.TileW > 0 && opt.TileH > 0 {
+		// Tiled: tiles are the parallel unit (each tile runs its full
+		// transform + Tier-1 independently).
+		res, err := codec.EncodeTiled(img, opt, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Data, &res.Stats, nil
+	}
+	opt = opt.WithDefaults(img.W, img.H)
+	planes := codec.ForwardTransform(img, opt)
+	_, jobs := codec.PlanBlocks(img.W, img.H, len(img.Comps), opt)
+	blocks := make([]*t1.Block, len(jobs))
+	mode := opt.Mode()
+
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				p := planes[j.Comp]
+				blocks[i] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
+					j.Band.Orient, mode, j.Gain)
+			}
+		}()
+	}
+	wg.Wait()
+	res := codec.Finish(img, opt, jobs, blocks)
+	return res.Data, &res.Stats, nil
+}
+
+var (
+	errEmptyImage = errors.New("j2kcell: empty image")
+	errGeometry   = errors.New("j2kcell: component geometry mismatch (subsampling unsupported)")
+)
+
+func validate(img *Image) error {
+	if img == nil || img.W <= 0 || img.H <= 0 || len(img.Comps) == 0 {
+		return errEmptyImage
+	}
+	for _, p := range img.Comps {
+		if p.W != img.W || p.H != img.H {
+			return errGeometry
+		}
+	}
+	return nil
+}
+
+// SimConfig configures a simulated Cell/B.E. encode: the machine
+// (chips, SPEs, PPE threads), the codec options, and the tuning knobs
+// the paper's ablations sweep (buffering depth, chunk width, fused vs
+// naive lifting, work queue vs static Tier-1, PPE Tier-1 participation,
+// fixed-point 9/7 pricing).
+type SimConfig = core.Config
+
+// SimResult is a simulated encode: the codestream (byte-identical to
+// Encode) plus the modeled cycles, per-stage breakdown and DMA traffic.
+type SimResult = core.Result
+
+// DefaultSimConfig returns a single-chip machine with n SPEs.
+func DefaultSimConfig(nSPE int, opt Options) SimConfig { return core.DefaultConfig(nSPE, opt) }
+
+// Simulate runs the paper's parallel encoder on the modeled Cell/B.E.
+func Simulate(img *Image, cfg SimConfig) (*SimResult, error) { return core.Encode(img, cfg) }
