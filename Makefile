@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel determinism matrix (parallel_test.go) only proves
+# anything when run with the race detector enabled.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# J2K_BENCH_SCALE=8 divides the paper's 3072x3072 workload; lower it
+# for full-size runs.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+check: build vet test race

@@ -316,6 +316,7 @@ func Benchmark_AblationBlockSize(b *testing.B) {
 func BenchmarkEncodeLossless(b *testing.B) {
 	img := benchDial()
 	b.SetBytes(int64(img.W * img.H * 3))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Encode(img, Options{Lossless: true}); err != nil {
 			b.Fatal(err)
@@ -326,6 +327,7 @@ func BenchmarkEncodeLossless(b *testing.B) {
 func BenchmarkEncodeLossyRate01(b *testing.B) {
 	img := benchDial()
 	b.SetBytes(int64(img.W * img.H * 3))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Encode(img, Options{Rate: 0.1}); err != nil {
 			b.Fatal(err)
@@ -336,9 +338,36 @@ func BenchmarkEncodeLossyRate01(b *testing.B) {
 func BenchmarkEncodeParallelLossless(b *testing.B) {
 	img := benchDial()
 	b.SetBytes(int64(img.W * img.H * 3))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := EncodeParallel(img, Options{Lossless: true}, 0); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeParallelWorkers sweeps the worker pool width of the
+// whole-pipeline native encoder — the wall-clock analogue of the
+// paper's SPE-count scaling figures.
+func BenchmarkEncodeParallelWorkers(b *testing.B) {
+	img := benchDial()
+	for _, mode := range []struct {
+		name string
+		opt  Options
+	}{
+		{"lossless", Options{Lossless: true}},
+		{"lossy", Options{Rate: 0.1}},
+	} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, w), func(b *testing.B) {
+				b.SetBytes(int64(img.W * img.H * 3))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := EncodeParallel(img, mode.opt, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }
@@ -444,6 +473,7 @@ func Benchmark_AblationLoopParallel(b *testing.B) {
 func BenchmarkEncodeMultiLayer(b *testing.B) {
 	img := benchDial()
 	b.SetBytes(int64(img.W * img.H * 3))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Encode(img, Options{LayerRates: []float64{0.02, 0.1, 0.4}}); err != nil {
 			b.Fatal(err)
@@ -455,6 +485,7 @@ func BenchmarkEncodeMultiLayer(b *testing.B) {
 func BenchmarkEncodeTiled(b *testing.B) {
 	img := benchDial()
 	b.SetBytes(int64(img.W * img.H * 3))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := EncodeParallel(img, Options{Lossless: true, TileW: 128, TileH: 128}, 0); err != nil {
 			b.Fatal(err)

@@ -2,7 +2,6 @@ package codec
 
 import (
 	"fmt"
-	"sync"
 
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/dwt"
@@ -282,38 +281,15 @@ func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOption
 		}
 		return nil
 	}
-	if dopt.Workers > 1 && len(tasks) > 1 {
-		errs := make([]error, len(tasks))
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		next := 0
-		for w := 0; w < dopt.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					mu.Lock()
-					i := next
-					next++
-					mu.Unlock()
-					if i >= len(tasks) {
-						return
-					}
-					errs[i] = decodeOne(tasks[i])
-				}
-			}()
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		for _, tk := range tasks {
-			if err := decodeOne(tk); err != nil {
-				return nil, err
-			}
+	// Every block writes a disjoint plane region, so Tier-1 decoding
+	// drains the same atomic work queue as the encode pipeline.
+	errs := make([]error, len(tasks))
+	NewPipeline(dopt.Workers).run(len(tasks), func(i int) {
+		errs[i] = decodeOne(tasks[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 

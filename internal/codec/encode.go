@@ -1,13 +1,9 @@
 package codec
 
 import (
-	"fmt"
-
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/imgmodel"
-	"j2kcell/internal/mct"
-	"j2kcell/internal/quant"
 	"j2kcell/internal/rate"
 	"j2kcell/internal/t1"
 	"j2kcell/internal/t2"
@@ -15,101 +11,33 @@ import (
 
 // ForwardTransform runs level shift + component transform + DWT
 // (+ quantization on the lossy path) and returns the integer
-// coefficient planes ready for Tier-1. It is shared verbatim between
-// the sequential encoder and the test oracles for the parallel ones.
+// coefficient planes ready for Tier-1. It is the single-worker
+// composition of the pipeline stages (pipeline.go), so it computes
+// exactly what the stripe-parallel path computes; the test oracles for
+// the parallel encoders compare against it. The returned planes come
+// from the imgmodel plane pool; callers that are done with them may
+// release them with imgmodel.PutPlane.
 func ForwardTransform(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
-	w, h := img.W, img.H
-	ncomp := len(img.Comps)
-	useMCT := ncomp == 3
-
+	p := NewPipeline(1)
 	if opt.Lossless {
-		planes := make([]*imgmodel.Plane, ncomp)
-		for c := range planes {
-			planes[c] = img.Comps[c].Clone()
-		}
-		for y := 0; y < h; y++ {
-			if useMCT {
-				mct.ForwardRCTRow(planes[0].Row(y), planes[1].Row(y), planes[2].Row(y), img.Depth)
-			} else {
-				for c := range planes {
-					mct.LevelShiftRow(planes[c].Row(y), img.Depth)
-				}
-			}
-		}
-		for _, p := range planes {
-			dwt.Forward53(p.Data, w, h, p.Stride, opt.Levels)
-		}
+		planes := p.MCTInt(img, opt)
+		p.DWT53(planes, opt)
 		return planes
 	}
-
-	fplanes := make([]*imgmodel.FPlane, ncomp)
-	for c := range fplanes {
-		fplanes[c] = imgmodel.NewFPlane(w, h)
-	}
-	for y := 0; y < h; y++ {
-		if useMCT {
-			mct.ForwardICTRow(
-				img.Comps[0].Row(y), img.Comps[1].Row(y), img.Comps[2].Row(y),
-				fplanes[0].Row(y), fplanes[1].Row(y), fplanes[2].Row(y), img.Depth)
-		} else {
-			for c := range fplanes {
-				src, dst := img.Comps[c].Row(y), fplanes[c].Row(y)
-				off := float32(int32(1) << (img.Depth - 1))
-				for i := range src {
-					dst[i] = float32(src[i]) - off
-				}
-			}
-		}
-	}
-	for _, p := range fplanes {
-		dwt.Forward97(p.Data, w, h, p.Stride, opt.Levels)
-	}
-	// Quantize band by band with the gain-derived steps.
-	planes := make([]*imgmodel.Plane, ncomp)
-	bands := dwt.Layout(w, h, opt.Levels)
-	for c := range planes {
-		planes[c] = imgmodel.NewPlane(w, h)
-		for _, b := range bands {
-			if b.W == 0 || b.H == 0 {
-				continue
-			}
-			delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, b.Orient, b.Level))
-			for y := b.Y0; y < b.Y0+b.H; y++ {
-				off := y*planes[c].Stride + b.X0
-				quant.QuantizeRow(planes[c].Data[off:off+b.W], fplanes[c].Data[y*fplanes[c].Stride+b.X0:][:b.W], delta)
-			}
-		}
+	fplanes := p.MCTFloat(img, opt)
+	p.DWT97(fplanes, opt)
+	planes := p.QuantizePlanes(fplanes, opt)
+	for _, fp := range fplanes {
+		imgmodel.PutFPlane(fp)
 	}
 	return planes
 }
 
-// Encode compresses img into a complete JPEG2000 codestream.
+// Encode compresses img into a complete JPEG2000 codestream. It is the
+// one-worker instance of the stage pipeline, so EncodeParallel is
+// byte-identical to it by construction.
 func Encode(img *imgmodel.Image, opt Options) (*Result, error) {
-	if err := validateImage(img); err != nil {
-		return nil, err
-	}
-	if opt.TileW > 0 || opt.TileH > 0 {
-		if opt.TileW <= 0 || opt.TileH <= 0 {
-			return nil, fmt.Errorf("codec: both tile dimensions must be set")
-		}
-		return EncodeTiled(img, opt, 1)
-	}
-	opt = opt.WithDefaults(img.W, img.H)
-	w, h := img.W, img.H
-	ncomp := len(img.Comps)
-	mode := opt.Mode()
-
-	planes := ForwardTransform(img, opt)
-	_, jobs := PlanBlocks(w, h, ncomp, opt)
-
-	blocks := make([]*t1.Block, len(jobs))
-	for i, j := range jobs {
-		p := planes[j.Comp]
-		blocks[i] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride, j.Band.Orient, mode, j.Gain)
-	}
-
-	res := Finish(img, opt, jobs, blocks)
-	return res, nil
+	return EncodeParallel(img, opt, 1)
 }
 
 // Finish performs everything downstream of Tier-1 — PCRD rate

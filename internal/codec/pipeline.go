@@ -1,0 +1,383 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"j2kcell/internal/decomp"
+	"j2kcell/internal/dwt"
+	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/mct"
+	"j2kcell/internal/quant"
+	"j2kcell/internal/t1"
+)
+
+// Pipeline runs the native encode path as explicit stages over a shared
+// worker pool, the Go analogue of the paper's whole-pipeline
+// parallelization (Section 3):
+//
+//	merged level shift + MCT   — row stripes
+//	multi-level DWT            — vertical: cache-line column groups
+//	                             (decomp.Partition, §3.2); horizontal:
+//	                             row stripes; barrier per level
+//	quantization + Tier-1      — one fused block job per code block
+//	                             through the shared work queue (§3.3)
+//
+// Every stage drains a single atomically-claimed job queue, so work
+// distribution is self-balancing regardless of content. All stage
+// splits are elementwise-independent (columns for vertical lifting,
+// rows for horizontal filtering and MCT, disjoint block regions for
+// quantization and Tier-1), so the emitted codestream is byte-identical
+// to the sequential encoder for every worker count — the DESIGN.md §5
+// invariant. Stripe, auxiliary, and plane buffers are recycled through
+// sync.Pool arenas, keeping steady-state encode allocations
+// near-constant.
+//
+// A Pipeline is stateless and safe for concurrent use.
+type Pipeline struct {
+	workers int
+}
+
+// NewPipeline returns a pipeline that runs its stages on up to
+// `workers` goroutines (minimum 1; 1 means run inline).
+func NewPipeline(workers int) *Pipeline {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pipeline{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// stripeRows is the row granularity of the stripe-parallel stages:
+// coarse enough to amortize queue claims, fine enough to balance.
+const stripeRows = 64
+
+// run drains n jobs through the shared work queue: one atomic cursor
+// claimed by up to p.workers goroutines — the paper's load-balancing
+// work queue, with the atomic increment standing in for the MFC atomic
+// unit. With a single worker (or a single job) it runs inline.
+func (p *Pipeline) run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	nw := p.workers
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Scratch pools for stripe-sized transients (DWT aux rows, horizontal
+// line buffers, per-block quantizer output). Contents are unspecified;
+// every user writes before reading.
+var (
+	i32Pool sync.Pool // *[]int32
+	f32Pool sync.Pool // *[]float32
+)
+
+func getI32(n int) *[]int32 {
+	p, _ := i32Pool.Get().(*[]int32)
+	if p == nil {
+		s := make([]int32, n)
+		return &s
+	}
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putI32(p *[]int32) { i32Pool.Put(p) }
+
+func getF32(n int) *[]float32 {
+	p, _ := f32Pool.Get().(*[]float32)
+	if p == nil {
+		s := make([]float32, n)
+		return &s
+	}
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
+func putF32(p *[]float32) { f32Pool.Put(p) }
+
+// stripes returns the number of stripeRows-high row stripes covering h.
+func stripes(h int) int { return (h + stripeRows - 1) / stripeRows }
+
+// stripeBounds returns the row range of stripe s, clamped to h.
+func stripeBounds(s, h int) (int, int) {
+	y0 := s * stripeRows
+	y1 := y0 + stripeRows
+	if y1 > h {
+		y1 = h
+	}
+	return y0, y1
+}
+
+// MCTInt is the reversible first stage: copy the components into pooled
+// working planes and apply the merged level shift + RCT (or the plain
+// shift) stripe-parallel. The returned planes come from the imgmodel
+// plane pool; the caller releases them with imgmodel.PutPlane once
+// Tier-1 has consumed them.
+func (p *Pipeline) MCTInt(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
+	w, h := img.W, img.H
+	planes := make([]*imgmodel.Plane, len(img.Comps))
+	for c := range planes {
+		planes[c] = imgmodel.GetPlane(w, h)
+	}
+	useMCT := len(planes) == 3
+	p.run(stripes(h), func(s int) {
+		y0, y1 := stripeBounds(s, h)
+		for c, pl := range planes {
+			src := img.Comps[c]
+			copy(pl.Data[y0*pl.Stride:y1*pl.Stride], src.Data[y0*src.Stride:y1*src.Stride])
+		}
+		if useMCT {
+			mct.ForwardRCTRows(planes[0].Data, planes[1].Data, planes[2].Data,
+				w, planes[0].Stride, y0, y1, img.Depth)
+		} else {
+			for _, pl := range planes {
+				mct.LevelShiftRows(pl.Data, w, pl.Stride, y0, y1, img.Depth)
+			}
+		}
+	})
+	return planes
+}
+
+// MCTFloat is the irreversible first stage: merged level shift + ICT
+// (or shift-to-float) into pooled float planes, stripe-parallel. The
+// caller releases the planes with imgmodel.PutFPlane.
+func (p *Pipeline) MCTFloat(img *imgmodel.Image, opt Options) []*imgmodel.FPlane {
+	w, h := img.W, img.H
+	fplanes := make([]*imgmodel.FPlane, len(img.Comps))
+	for c := range fplanes {
+		fplanes[c] = imgmodel.GetFPlane(w, h)
+	}
+	useMCT := len(fplanes) == 3
+	p.run(stripes(h), func(s int) {
+		y0, y1 := stripeBounds(s, h)
+		if useMCT {
+			mct.ForwardICTRows(
+				img.Comps[0].Data, img.Comps[1].Data, img.Comps[2].Data,
+				fplanes[0].Data, fplanes[1].Data, fplanes[2].Data,
+				w, img.Comps[0].Stride, fplanes[0].Stride, y0, y1, img.Depth)
+		} else {
+			for c := range fplanes {
+				mct.ShiftToFloatRows(img.Comps[c].Data, fplanes[c].Data,
+					w, img.Comps[c].Stride, fplanes[c].Stride, y0, y1, img.Depth)
+			}
+		}
+	})
+	return fplanes
+}
+
+// dwtLevel describes the parallel split of one decomposition level:
+// vertical jobs are (component × column group), horizontal jobs are
+// (component × row stripe), with a barrier between the two phases and
+// between levels (the vertical filter of level l+1 reads the LL rows
+// the horizontal filter of level l wrote).
+type dwtLevel struct {
+	lw, lh int
+	chunks []decomp.Chunk
+}
+
+// levelPlan computes the per-level geometry once per encode. Column
+// groups follow the paper's tuning: cache-line multiples sized so each
+// worker gets roughly one group per component per level.
+func (p *Pipeline) levelPlan(w, h, levels int) []dwtLevel {
+	var plan []dwtLevel
+	for l := 0; l < levels; l++ {
+		lw, lh := dwt.LevelDims(w, h, l)
+		if lw <= 1 && lh <= 1 {
+			break
+		}
+		lv := dwtLevel{lw: lw, lh: lh}
+		if lh > 1 {
+			lv.chunks = decomp.Partition(lw, decomp.ChunkWidthFor(lw, p.workers), p.workers)
+		}
+		plan = append(plan, lv)
+	}
+	return plan
+}
+
+// DWT53 runs the reversible multi-level transform over all components,
+// column-group-parallel vertically and stripe-parallel horizontally.
+// Bit-identical to dwt.Forward53 on each plane.
+func (p *Pipeline) DWT53(planes []*imgmodel.Plane, opt Options) {
+	w, h := planes[0].W, planes[0].H
+	for _, lv := range p.levelPlan(w, h, opt.Levels) {
+		if lv.lh > 1 {
+			nc := len(lv.chunks)
+			p.run(nc*len(planes), func(i int) {
+				pl, ch := planes[i/nc], lv.chunks[i%nc]
+				aux := getI32(dwt.AuxLen(ch.W, lv.lh))
+				dwt.Vertical53Stripe(pl.Data, ch.X0, ch.W, lv.lh, pl.Stride, *aux)
+				putI32(aux)
+			})
+		}
+		if lv.lw > 1 {
+			ns := stripes(lv.lh)
+			p.run(ns*len(planes), func(i int) {
+				pl := planes[i/ns]
+				y0, y1 := stripeBounds(i%ns, lv.lh)
+				tmp := getI32(lv.lw)
+				dwt.Horizontal53Rows(pl.Data, lv.lw, pl.Stride, y0, y1, *tmp)
+				putI32(tmp)
+			})
+		}
+	}
+}
+
+// DWT97 is the irreversible analogue of DWT53; bit-identical to
+// dwt.Forward97 on each plane.
+func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
+	w, h := fplanes[0].W, fplanes[0].H
+	for _, lv := range p.levelPlan(w, h, opt.Levels) {
+		if lv.lh > 1 {
+			nc := len(lv.chunks)
+			p.run(nc*len(fplanes), func(i int) {
+				pl, ch := fplanes[i/nc], lv.chunks[i%nc]
+				aux := getF32(dwt.AuxLen(ch.W, lv.lh))
+				dwt.Vertical97Stripe(pl.Data, ch.X0, ch.W, lv.lh, pl.Stride, *aux)
+				putF32(aux)
+			})
+		}
+		if lv.lw > 1 {
+			ns := stripes(lv.lh)
+			p.run(ns*len(fplanes), func(i int) {
+				pl := fplanes[i/ns]
+				y0, y1 := stripeBounds(i%ns, lv.lh)
+				tmp := getF32(lv.lw)
+				dwt.Horizontal97Rows(pl.Data, lv.lw, pl.Stride, y0, y1, *tmp)
+				putF32(tmp)
+			})
+		}
+	}
+}
+
+// Tier1Int codes every block job from the reversible coefficient planes
+// through the shared work queue.
+func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.Mode) []*t1.Block {
+	blocks := make([]*t1.Block, len(jobs))
+	p.run(len(jobs), func(i int) {
+		j := jobs[i]
+		pl := planes[j.Comp]
+		blocks[i] = t1.Encode(pl.Data[j.Y0*pl.Stride+j.X0:], j.W, j.H, pl.Stride,
+			j.Band.Orient, mode, j.Gain)
+	})
+	return blocks
+}
+
+// Tier1Float fuses deadzone quantization into each Tier-1 block job:
+// a job quantizes its own w×h region into pooled scratch and entropy
+// codes it, so quantization and Tier-1 flow through the same queue
+// (the paper's load-balancing scheme) with no intermediate full-size
+// integer planes. Elementwise identical to quantize-then-code.
+func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt Options) []*t1.Block {
+	mode := opt.Mode()
+	blocks := make([]*t1.Block, len(jobs))
+	p.run(len(jobs), func(i int) {
+		j := jobs[i]
+		fp := fplanes[j.Comp]
+		delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, j.Band.Orient, j.Band.Level))
+		buf := getI32(j.W * j.H)
+		quant.QuantizeBlock(*buf, j.W, fp.Data[j.Y0*fp.Stride+j.X0:], fp.Stride, j.W, j.H, delta)
+		blocks[i] = t1.Encode(*buf, j.W, j.H, j.W, j.Band.Orient, mode, j.Gain)
+		putI32(buf)
+	})
+	return blocks
+}
+
+// QuantizePlanes materializes the quantized integer planes from the
+// transformed float planes, band-row-parallel — used by the sequential
+// ForwardTransform oracle (the parallel path fuses quantization into
+// Tier1Float instead). Returned planes come from the plane pool.
+func (p *Pipeline) QuantizePlanes(fplanes []*imgmodel.FPlane, opt Options) []*imgmodel.Plane {
+	w, h := fplanes[0].W, fplanes[0].H
+	bands := dwt.Layout(w, h, opt.Levels)
+	planes := make([]*imgmodel.Plane, len(fplanes))
+	for c := range planes {
+		planes[c] = imgmodel.GetPlane(w, h)
+	}
+	// One job per (component, band); the subbands tile the plane, so
+	// every live sample is written.
+	p.run(len(planes)*len(bands), func(i int) {
+		c, b := i/len(bands), bands[i%len(bands)]
+		if b.W == 0 || b.H == 0 {
+			return
+		}
+		pl, fp := planes[c], fplanes[c]
+		delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, b.Orient, b.Level))
+		for y := b.Y0; y < b.Y0+b.H; y++ {
+			quant.QuantizeRow(pl.Data[y*pl.Stride+b.X0:][:b.W], fp.Data[y*fp.Stride+b.X0:][:b.W], delta)
+		}
+	})
+	return planes
+}
+
+// EncodeParallel compresses img with the whole pipeline — MCT, DWT,
+// quantization, Tier-1 — spread across `workers` goroutines, then the
+// shared sequential Finish (rate control, Tier-2, framing). The output
+// is byte-identical to Encode for every worker count. Tiled streams
+// parallelize across tiles instead (EncodeTiled).
+func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, error) {
+	if err := validateImage(img); err != nil {
+		return nil, err
+	}
+	if opt.TileW > 0 || opt.TileH > 0 {
+		if opt.TileW <= 0 || opt.TileH <= 0 {
+			return nil, fmt.Errorf("codec: both tile dimensions must be set")
+		}
+		return EncodeTiled(img, opt, workers)
+	}
+	opt = opt.WithDefaults(img.W, img.H)
+	p := NewPipeline(workers)
+	_, jobs := PlanBlocks(img.W, img.H, len(img.Comps), opt)
+	var blocks []*t1.Block
+	if opt.Lossless {
+		planes := p.MCTInt(img, opt)
+		p.DWT53(planes, opt)
+		blocks = p.Tier1Int(planes, jobs, opt.Mode())
+		for _, pl := range planes {
+			imgmodel.PutPlane(pl)
+		}
+	} else {
+		fplanes := p.MCTFloat(img, opt)
+		p.DWT97(fplanes, opt)
+		blocks = p.Tier1Float(fplanes, jobs, opt)
+		for _, fp := range fplanes {
+			imgmodel.PutFPlane(fp)
+		}
+	}
+	return Finish(img, opt, jobs, blocks), nil
+}

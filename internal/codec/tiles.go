@@ -2,7 +2,6 @@ package codec
 
 import (
 	"fmt"
-	"sync"
 
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/imgmodel"
@@ -54,45 +53,30 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	if opt.TileW <= 0 || opt.TileH <= 0 {
 		return nil, fmt.Errorf("codec: EncodeTiled needs positive tile dimensions")
 	}
-	if workers < 1 {
-		workers = 1
-	}
 	ncomp := len(img.Comps)
 	mode := opt.Mode()
 	grid := TileGrid(img.W, img.H, opt.TileW, opt.TileH)
 	tiles := make([]*tileCoded, len(grid))
 
-	// Tier-1 code every tile (tiles are fully independent).
-	var wg sync.WaitGroup
-	var nextMu sync.Mutex
-	next := 0
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				nextMu.Lock()
-				i := next
-				next++
-				nextMu.Unlock()
-				if i >= len(grid) {
-					return
-				}
-				r := grid[i]
-				sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
-				planes := ForwardTransform(sub, opt)
-				_, jobs := PlanBlocks(r.W, r.H, ncomp, opt)
-				blocks := make([]*t1.Block, len(jobs))
-				for bi, j := range jobs {
-					p := planes[j.Comp]
-					blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
-						j.Band.Orient, mode, j.Gain)
-				}
-				tiles[i] = &tileCoded{rect: r, img: sub, jobs: jobs, blocks: blocks}
-			}
-		}()
-	}
-	wg.Wait()
+	// Transform and Tier-1 code every tile through the shared work
+	// queue (tiles are fully independent), recycling each tile's
+	// coefficient planes once its blocks are coded.
+	NewPipeline(workers).run(len(grid), func(i int) {
+		r := grid[i]
+		sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
+		planes := ForwardTransform(sub, opt)
+		_, jobs := PlanBlocks(r.W, r.H, ncomp, opt)
+		blocks := make([]*t1.Block, len(jobs))
+		for bi, j := range jobs {
+			p := planes[j.Comp]
+			blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
+				j.Band.Orient, mode, j.Gain)
+		}
+		for _, p := range planes {
+			imgmodel.PutPlane(p)
+		}
+		tiles[i] = &tileCoded{rect: r, img: sub, jobs: jobs, blocks: blocks}
+	})
 
 	// Global M_b and global rate allocation across all tiles' blocks.
 	nbands := 3*opt.Levels + 1

@@ -19,8 +19,13 @@ import (
 	"j2kcell/internal/sim"
 )
 
-// WordsPerLine is the number of 4-byte words in one 128-byte cache line.
-const WordsPerLine = cell.CacheLine / 4
+// Keep the machine-free WordsPerLine (geometry.go) in lock step with
+// the simulated cache line: both array bounds are zero-length exactly
+// when WordsPerLine == cell.CacheLine/4.
+var (
+	_ [WordsPerLine - cell.CacheLine/4]struct{}
+	_ [cell.CacheLine/4 - WordsPerLine]struct{}
+)
 
 // Array is a height×width array of words stored row-major with a
 // stride padded to a whole number of cache lines, at a line-aligned
@@ -30,11 +35,6 @@ type Array[T cell.Word] struct {
 	W, H   int
 	Stride int   // words per row including padding; multiple of 32
 	EA     int64 // effective address of Data[0]; 128-byte aligned
-}
-
-// PadStride rounds a width in words up to a whole number of cache lines.
-func PadStride(w int) int {
-	return (w + WordsPerLine - 1) / WordsPerLine * WordsPerLine
 }
 
 // NewArray allocates a w×h array in m's simulated main memory with
@@ -77,75 +77,6 @@ func (a *Array[T]) At(r, c int) T { return a.Data[r*a.Stride+c] }
 
 // Set stores v at row r, column c.
 func (a *Array[T]) Set(r, c int, v T) { a.Data[r*a.Stride+c] = v }
-
-// PPEChunk marks a chunk assigned to the PPE.
-const PPEChunk = -1
-
-// Chunk is one unit of data distribution: columns [X0, X0+W) over the
-// full array height, assigned to processing element PE (an SPE index,
-// or PPEChunk for the remainder chunk).
-type Chunk struct {
-	X0, W int
-	PE    int
-}
-
-// Aligned reports whether the chunk starts and sizes on cache-line
-// boundaries (true for every SPE chunk produced by Partition).
-func (c Chunk) Aligned() bool {
-	return c.X0%WordsPerLine == 0 && c.W%WordsPerLine == 0
-}
-
-// Partition splits a width (in words) into constant-width chunks of
-// chunkW words (a multiple of the cache line) distributed round-robin
-// over nSPE SPEs, plus at most one remainder chunk for the PPE. With
-// nSPE == 0 the whole width goes to the PPE.
-func Partition(width, chunkW, nSPE int) []Chunk {
-	if width <= 0 {
-		panic("decomp: Partition of non-positive width")
-	}
-	if nSPE == 0 {
-		return []Chunk{{X0: 0, W: width, PE: PPEChunk}}
-	}
-	if chunkW <= 0 || chunkW%WordsPerLine != 0 {
-		panic(fmt.Sprintf("decomp: chunk width %d is not a multiple of %d words", chunkW, WordsPerLine))
-	}
-	var chunks []Chunk
-	n := width / chunkW
-	for i := 0; i < n; i++ {
-		chunks = append(chunks, Chunk{X0: i * chunkW, W: chunkW, PE: i % nSPE})
-	}
-	if rem := width - n*chunkW; rem > 0 {
-		chunks = append(chunks, Chunk{X0: n * chunkW, W: rem, PE: PPEChunk})
-	}
-	return chunks
-}
-
-// ChunkWidthFor picks a chunk width (in words) that gives each of the
-// nSPE SPEs roughly equal work while staying a multiple of the cache
-// line, mirroring the paper's tuning of the column-group size. It never
-// returns less than one cache line.
-func ChunkWidthFor(width, nSPE int) int {
-	if nSPE <= 0 {
-		return PadStride(width)
-	}
-	per := width / nSPE
-	cw := per / WordsPerLine * WordsPerLine
-	if cw < WordsPerLine {
-		cw = WordsPerLine
-	}
-	return cw
-}
-
-// ForPE returns the chunks assigned to processing element pe.
-func ForPE(chunks []Chunk, pe int) []Chunk {
-	var out []Chunk
-	for _, c := range chunks {
-		if c.PE == pe {
-			out = append(out, c)
-		}
-	}
-	return out
-}
 
 // StreamRows runs a pixel-wise kernel over every row of chunk ch of src,
 // writing results to the same rows/columns of dst, as an SPE would: one

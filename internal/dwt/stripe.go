@@ -1,0 +1,53 @@
+package dwt
+
+// Stripe-safe entry points for the stage-based native pipeline
+// (internal/codec.Pipeline). The vertical lifting recurrences never mix
+// columns — every operation is a row-vector op applied elementwise — so
+// a vertical analysis restricted to a column group [x0, x0+cw) is
+// bit-identical to the same columns of a full-width sweep. That is the
+// paper's §3.2 decomposition: cache-line column groups are the vertical
+// parallel unit, rows are the horizontal one. The horizontal filter
+// never mixes rows, so row ranges are likewise independent.
+
+// LevelDims returns the low-pass region size after l decompositions of
+// a w×h plane (the region the level-(l+1) transform operates on).
+func LevelDims(w, h, l int) (int, int) { return levelDim(w, l), levelDim(h, l) }
+
+// AuxLen returns the auxiliary buffer length (in words) the fused
+// vertical analyses need for a cw-wide, lh-high region: half the rows.
+func AuxLen(cw, lh int) int { return ((lh + 1) / 2) * cw }
+
+// Vertical53Stripe runs the fused vertical 5/3 analysis over the column
+// group [x0, x0+cw) of an lh-high region. aux needs AuxLen(cw, lh)
+// words; its prior contents are irrelevant (write-before-read).
+// Bit-identical to the corresponding columns of Vertical53Fused.
+func Vertical53Stripe(data []int32, x0, cw, lh, stride int, aux []int32) {
+	Vertical53Fused(data[x0:], cw, lh, stride, aux)
+}
+
+// Vertical97Stripe is the irreversible analogue of Vertical53Stripe.
+func Vertical97Stripe(data []float32, x0, cw, lh, stride int, aux []float32) {
+	Vertical97Fused(data[x0:], cw, lh, stride, aux)
+}
+
+// Horizontal53Rows applies the 1-D 5/3 analysis to rows [y0, y1) of the
+// lw-wide region. tmp needs lw words. Rows are independent, so disjoint
+// row ranges may run concurrently.
+func Horizontal53Rows(data []int32, lw, stride, y0, y1 int, tmp []int32) {
+	if lw <= 1 {
+		return
+	}
+	for r := y0; r < y1; r++ {
+		Fwd53Line(data[r*stride:r*stride+lw], tmp)
+	}
+}
+
+// Horizontal97Rows is the irreversible analogue of Horizontal53Rows.
+func Horizontal97Rows(data []float32, lw, stride, y0, y1 int, tmp []float32) {
+	if lw <= 1 {
+		return
+	}
+	for r := y0; r < y1; r++ {
+		Fwd97Line(data[r*stride:r*stride+lw], tmp)
+	}
+}

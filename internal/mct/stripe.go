@@ -1,0 +1,50 @@
+package mct
+
+// Row-stripe entry points for the stage-based native pipeline. The
+// component transforms are strictly per-pixel, so row ranges are
+// independent: disjoint stripes may run concurrently and any stripe
+// split is bit-identical to the full-plane sweep. Planes are passed as
+// backing slices with their row strides so these work on imgmodel
+// planes and on decomp arrays alike.
+
+// ForwardRCTRows applies the merged level shift + reversible color
+// transform in place to rows [y0, y1) of three equal-stride planes.
+func ForwardRCTRows(r, g, b []int32, w, stride, y0, y1, depth int) {
+	for y := y0; y < y1; y++ {
+		off := y * stride
+		ForwardRCTRow(r[off:off+w], g[off:off+w], b[off:off+w], depth)
+	}
+}
+
+// LevelShiftRows applies the forward DC level shift in place to rows
+// [y0, y1) of a plane.
+func LevelShiftRows(p []int32, w, stride, y0, y1, depth int) {
+	for y := y0; y < y1; y++ {
+		off := y * stride
+		LevelShiftRow(p[off:off+w], depth)
+	}
+}
+
+// ForwardICTRows applies the merged level shift + irreversible color
+// transform to rows [y0, y1), reading integer planes (stride sstride)
+// and writing float planes (stride dstride).
+func ForwardICTRows(r, g, b []int32, y, cb, cr []float32, w, sstride, dstride, y0, y1, depth int) {
+	for row := y0; row < y1; row++ {
+		so, do := row*sstride, row*dstride
+		ForwardICTRow(r[so:so+w], g[so:so+w], b[so:so+w],
+			y[do:do+w], cb[do:do+w], cr[do:do+w], depth)
+	}
+}
+
+// ShiftToFloatRows applies the level shift while widening to float for
+// rows [y0, y1) — the single-component entry to the irreversible path.
+func ShiftToFloatRows(src []int32, dst []float32, w, sstride, dstride, y0, y1, depth int) {
+	off := float32(int32(1) << (depth - 1))
+	for row := y0; row < y1; row++ {
+		s := src[row*sstride : row*sstride+w]
+		d := dst[row*dstride : row*dstride+w]
+		for i := range s {
+			d[i] = float32(s[i]) - off
+		}
+	}
+}

@@ -32,6 +32,17 @@ func QuantizeRow(dst []int32, src []float32, delta float32) {
 	}
 }
 
+// QuantizeBlock quantizes a w×h region with independent source and
+// destination strides — the fused quantization step of a Tier-1 block
+// job in the stage pipeline, where each block quantizes its own
+// coefficients into scratch just before entropy coding. Elementwise
+// identical to quantizing the whole plane row by row.
+func QuantizeBlock(dst []int32, dstStride int, src []float32, srcStride, w, h int, delta float32) {
+	for y := 0; y < h; y++ {
+		QuantizeRow(dst[y*dstStride:y*dstStride+w], src[y*srcStride:y*srcStride+w], delta)
+	}
+}
+
 // DequantizeRow reconstructs coefficients with the standard r=0.5
 // midpoint: v = sign(q) * (|q| + 0.5) * Δ for q != 0. Tier-1 decoding
 // of truncated blocks already folds in the midpoint of the missing

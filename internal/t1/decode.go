@@ -30,7 +30,10 @@ func Decode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, numBPS
 		return nil
 	}
 	c := newCoder(w, h, orient)
-	d := &decoder{coder: c, lastPlane: make([]int8, w*h)}
+	defer c.release()
+	lp := getInt8(w * h)
+	defer putInt8(lp)
+	d := &decoder{coder: c, lastPlane: *lp}
 
 	if mode == ModeTermAll && len(segLens) < numPasses {
 		return fmt.Errorf("t1: %d passes but only %d segment lengths", numPasses, len(segLens))

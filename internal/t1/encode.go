@@ -27,6 +27,7 @@ func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain f
 		panic("t1: empty code block")
 	}
 	c := newCoder(w, h, orient)
+	defer c.release()
 	maxMag := uint32(0)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -53,7 +54,9 @@ func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain f
 		return blk
 	}
 
-	e := &encoder{coder: c, mode: mode, gain2: gain2}
+	e := getEncoder()
+	defer putEncoder(e)
+	e.coder, e.mode, e.gain2, e.out = c, mode, gain2, nil
 	e.mq.Reset()
 
 	for p := numBPS - 1; p >= 0; p-- {

@@ -136,14 +136,30 @@ type coder struct {
 	cx     [nctx]mq.Context
 }
 
+// newCoder draws scratch from the coder pool (pool.go); callers release
+// it when the block is done. Flags and magnitudes are zeroed, contexts
+// reset to their standard initial states.
 func newCoder(w, h int, orient dwt.Orient) *coder {
-	return &coder{
-		w: w, h: h, orient: orient,
-		flags: make([]uint8, (w+2)*(h+2)),
-		fw:    w + 2,
-		mag:   make([]uint32, w*h),
-		cx:    newContexts(),
+	c, _ := coderPool.Get().(*coder)
+	if c == nil {
+		c = &coder{}
 	}
+	c.w, c.h, c.orient = w, h, orient
+	c.fw = w + 2
+	if n := (w + 2) * (h + 2); cap(c.flags) < n {
+		c.flags = make([]uint8, n)
+	} else {
+		c.flags = c.flags[:n]
+		clear(c.flags)
+	}
+	if n := w * h; cap(c.mag) < n {
+		c.mag = make([]uint32, n)
+	} else {
+		c.mag = c.mag[:n]
+		clear(c.mag)
+	}
+	c.cx = newContexts()
+	return c
 }
 
 // fidx maps block coordinates to the bordered flags array.

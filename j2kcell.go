@@ -7,8 +7,11 @@
 // codestreams:
 //
 //   - Encode: the sequential reference (JasPer-equivalent pipeline);
-//   - EncodeParallel: a native Go encoder that runs Tier-1 across a
-//     goroutine worker pool — the practical encoder for library users;
+//   - EncodeParallel: a native Go encoder that runs the whole pipeline
+//     — MCT, DWT, quantization, and Tier-1 — stage-parallel across a
+//     goroutine worker pool, the Go analogue of the paper's
+//     whole-pipeline SPE parallelization, and the practical encoder
+//     for library users;
 //   - Simulate: the paper's parallelization executed on the simulated
 //     Cell/B.E. (internal/core), returning the modeled execution
 //     profile used to regenerate the paper's figures.
@@ -20,13 +23,11 @@ package j2kcell
 import (
 	"errors"
 	"runtime"
-	"sync"
 
 	"j2kcell/internal/codec"
 	"j2kcell/internal/core"
 	"j2kcell/internal/imgmodel"
 	"j2kcell/internal/jp2"
-	"j2kcell/internal/t1"
 	"j2kcell/internal/workload"
 )
 
@@ -112,9 +113,14 @@ func DecodeParallel(data []byte, workers int) (*Image, error) {
 	return codec.DecodeWith(data, codec.DecodeOptions{Workers: workers})
 }
 
-// EncodeParallel compresses img using `workers` goroutines for Tier-1
-// block coding (the dominant stage). workers <= 0 selects GOMAXPROCS.
-// The output is byte-identical to Encode.
+// EncodeParallel compresses img with every pipeline stage — merged
+// level shift + component transform, multi-level DWT, quantization,
+// and Tier-1 block coding — spread across `workers` goroutines
+// (workers <= 0 selects GOMAXPROCS). Untiled images parallelize
+// within each stage (row stripes and cache-line column groups, with
+// quantization fused into the Tier-1 work queue on the lossy path);
+// tiled images parallelize across tiles. The output is byte-identical
+// to Encode for every worker count.
 func EncodeParallel(img *Image, opt Options, workers int) ([]byte, *Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -122,45 +128,10 @@ func EncodeParallel(img *Image, opt Options, workers int) ([]byte, *Stats, error
 	if err := validate(img); err != nil {
 		return nil, nil, err
 	}
-	if opt.TileW > 0 && opt.TileH > 0 {
-		// Tiled: tiles are the parallel unit (each tile runs its full
-		// transform + Tier-1 independently).
-		res, err := codec.EncodeTiled(img, opt, workers)
-		if err != nil {
-			return nil, nil, err
-		}
-		return res.Data, &res.Stats, nil
+	res, err := codec.EncodeParallel(img, opt, workers)
+	if err != nil {
+		return nil, nil, err
 	}
-	opt = opt.WithDefaults(img.W, img.H)
-	planes := codec.ForwardTransform(img, opt)
-	_, jobs := codec.PlanBlocks(img.W, img.H, len(img.Comps), opt)
-	blocks := make([]*t1.Block, len(jobs))
-	mode := opt.Mode()
-
-	var next int64
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := int(next)
-				next++
-				mu.Unlock()
-				if i >= len(jobs) {
-					return
-				}
-				j := jobs[i]
-				p := planes[j.Comp]
-				blocks[i] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
-					j.Band.Orient, mode, j.Gain)
-			}
-		}()
-	}
-	wg.Wait()
-	res := codec.Finish(img, opt, jobs, blocks)
 	return res.Data, &res.Stats, nil
 }
 

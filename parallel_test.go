@@ -1,0 +1,113 @@
+// Determinism matrix for the whole-pipeline parallel encoder: the
+// codestream must be byte-identical to the sequential encoder for
+// every worker count, coding mode, and tiling — run `make race` to
+// execute this matrix under the race detector.
+package j2kcell
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// parallelCases is the determinism matrix: {lossless, lossy} ×
+// {untiled, tiled}, with odd image dimensions so stripe and column
+// boundaries exercise the edge paths.
+var parallelCases = []struct {
+	name string
+	opt  Options
+}{
+	{"lossless", Options{Lossless: true}},
+	{"lossy", Options{Rate: 0.2}},
+	{"lossless-tiled", Options{Lossless: true, TileW: 48, TileH: 32}},
+	{"lossy-tiled", Options{Rate: 0.2, TileW: 48, TileH: 32}},
+}
+
+func workerCounts() []int {
+	return []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+}
+
+func TestEncodeParallelDeterminism(t *testing.T) {
+	img := TestImage(97, 61, 7)
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, _, err := Encode(img, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts() {
+				t.Run(fmt.Sprintf("workers-%d", w), func(t *testing.T) {
+					par, _, err := EncodeParallel(img, tc.opt, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(par, seq) {
+						t.Fatalf("parallel stream differs from sequential (%d vs %d bytes)",
+							len(par), len(seq))
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestDecodeParallelDeterminism(t *testing.T) {
+	img := TestImage(97, 61, 7)
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, _, err := Encode(img, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts() {
+				t.Run(fmt.Sprintf("workers-%d", w), func(t *testing.T) {
+					got, err := DecodeParallel(data, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !ref.Equal(got) {
+						t.Fatal("parallel decode differs from sequential")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestEncodeSteadyStateAllocs pins the allocation profile of the
+// pooled pipeline: after a warm-up encode has populated the plane,
+// Tier-1, and stripe-scratch arenas, a steady-state encode allocates
+// only per-block outputs (Block structs, pass records, codeword
+// copies) and the assembled stream — not coefficient planes or coder
+// scratch. The bounds have ~1.5x headroom over measured values; a
+// failure means per-encode scratch is being reallocated again.
+func TestEncodeSteadyStateAllocs(t *testing.T) {
+	img := TestImage(192, 160, 9)
+	for _, tc := range []struct {
+		name   string
+		opt    Options
+		maxPer float64 // allocations per encode
+	}{
+		{"lossless", Options{Lossless: true}, 2500},
+		{"lossy", Options{Rate: 0.2}, 9000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			encode := func() {
+				if _, _, err := EncodeParallel(img, tc.opt, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			encode() // warm the pools
+			got := testing.AllocsPerRun(10, encode)
+			t.Logf("allocs/encode = %.0f (bound %.0f)", got, tc.maxPer)
+			if got > tc.maxPer {
+				t.Fatalf("steady-state encode allocates %.0f times, want <= %.0f", got, tc.maxPer)
+			}
+		})
+	}
+}
