@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -20,5 +20,15 @@ vet:
 # for full-size runs.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# bench-json reruns the hot-path benchmarks (Tier-1, rate control,
+# end-to-end encode) and merges them with the committed pre-PR baseline
+# into one JSON artifact with per-benchmark speedup ratios.
+BENCH_JSON ?= BENCH_pr2.json
+BENCH_BASELINE ?= bench/baseline_pr1.txt
+bench-json:
+	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ > bench/current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEncode' -benchmem . >> bench/current.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
 
 check: build vet test race

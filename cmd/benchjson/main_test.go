@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: j2kcell/internal/t1
+cpu: Test CPU
+Benchmark_T1EncodeBlock/LL/dense/64x64         	     663	   1914119 ns/op	   8.56 MB/s	    9008 B/op	       8 allocs/op
+PASS
+ok  	j2kcell/internal/t1	23.154s
+`
+
+func writeSample(t *testing.T, text string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseRun(t *testing.T) {
+	run, err := parseRun(writeSample(t, sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.CPU != "Test CPU" {
+		t.Fatalf("env: %+v", run)
+	}
+	if len(run.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(run.Benchmarks))
+	}
+	b := run.Benchmarks[0]
+	if b.Pkg != "j2kcell/internal/t1" || b.Name != "Benchmark_T1EncodeBlock/LL/dense/64x64" {
+		t.Fatalf("identity: %+v", b)
+	}
+	if b.Iterations != 663 || b.NsPerOp != 1914119 || b.MBPerSec != 8.56 ||
+		b.BytesPerOp != 9008 || b.AllocsPerOp != 8 {
+		t.Fatalf("metrics: %+v", b)
+	}
+}
+
+func TestSpeedupsPairAcrossGomaxprocsSuffix(t *testing.T) {
+	base := &Run{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkX-2", NsPerOp: 300},
+		{Pkg: "p", Name: "BenchmarkOnlyBase-2", NsPerOp: 5},
+	}}
+	cur := &Run{Benchmarks: []Benchmark{
+		{Pkg: "p", Name: "BenchmarkX-8", NsPerOp: 100},
+		{Pkg: "p", Name: "BenchmarkOnlyCur-8", NsPerOp: 7},
+	}}
+	sp := speedups(base, cur)
+	if len(sp) != 1 {
+		t.Fatalf("got %d speedups, want 1", len(sp))
+	}
+	if sp[0].Ratio != 3 {
+		t.Fatalf("ratio %v, want 3", sp[0].Ratio)
+	}
+}

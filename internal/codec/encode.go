@@ -46,6 +46,16 @@ func Encode(img *imgmodel.Image, opt Options) (*Result, error) {
 // encoder both call this, which is what makes their outputs
 // byte-identical by construction.
 func Finish(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Block) *Result {
+	return FinishRD(img, opt, jobs, blocks, nil, 1)
+}
+
+// FinishRD is Finish with two escape hatches for the parallel encoders:
+// a pre-built R-D ladder set (rd[i] for blocks[i]; nil means build it
+// here) whose hulls may already have been computed inside the Tier-1
+// block jobs, and a worker count for the PCRD truncation scans. The
+// result is byte-identical to Finish for every combination — hulls and
+// selections are deterministic functions of the ladders.
+func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Block, rd []rate.BlockRD, workers int) *Result {
 	opt = opt.WithDefaults(img.W, img.H)
 	w, h := img.W, img.H
 	ncomp := len(img.Comps)
@@ -68,7 +78,13 @@ func Finish(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bloc
 	keeps := [][]int{FullKeep(blocks)}
 	constrained := !opt.Lossless && rates != nil
 	if constrained {
-		keeps = AllocateLayers(blocks, jobs, img, opt, rates, 0)
+		if rd == nil {
+			rd = BuildLadders(blocks)
+		}
+		// The ladders (and their cached hulls) persist across the
+		// overhead-retry loop, so hulls are computed at most once per
+		// block per encode.
+		keeps = allocateLayersRD(rd, img, opt, rates, 0, workers)
 	}
 	data, body := build(keeps)
 	if constrained {
@@ -76,7 +92,7 @@ func Finish(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bloc
 		// overhead estimate was short, shave the body budget and retry.
 		target := int(rates[len(rates)-1] * float64(w*h*ncomp*img.Depth/8))
 		for extra := 16; len(data) > target && extra < target; extra *= 2 {
-			keeps = AllocateLayers(blocks, jobs, img, opt, rates, len(data)-target+extra)
+			keeps = allocateLayersRD(rd, img, opt, rates, len(data)-target+extra, workers)
 			data, body = build(keeps)
 		}
 	}
@@ -119,37 +135,69 @@ func AllocatePasses(blocks []*t1.Block, jobs []BlockJob, img *imgmodel.Image, op
 	return keeps[0]
 }
 
+// LadderOf builds the rate-distortion ladder of one coded block:
+// cumulative segment bytes and cumulative distortion reduction after
+// each pass. The hull is left uncomputed; call ComputeHull (cheap,
+// block-local) to fill it — the parallel pipelines do so inside the
+// Tier-1 block job itself, moving the hull sweep off the sequential
+// rate-control tail.
+func LadderOf(b *t1.Block) rate.BlockRD {
+	var rd rate.BlockRD
+	if n := len(b.Passes); n > 0 {
+		rd.Rates = make([]int, 0, n)
+		rd.Dists = make([]float64, 0, n)
+	}
+	dist := 0.0
+	for _, p := range b.Passes {
+		dist += p.DistDelta
+		rd.Rates = append(rd.Rates, p.CumLen)
+		rd.Dists = append(rd.Dists, dist)
+	}
+	return rd
+}
+
+// BuildLadders builds every block's R-D ladder sequentially.
+func BuildLadders(blocks []*t1.Block) []rate.BlockRD {
+	rd := make([]rate.BlockRD, len(blocks))
+	for i, b := range blocks {
+		rd[i] = LadderOf(b)
+	}
+	return rd
+}
+
 // AllocateLayers runs PCRD-opt once per quality layer against the
 // cumulative rate targets, returning per-layer cumulative pass counts
 // (monotone per block, as layer l extends layer l-1).
 func AllocateLayers(blocks []*t1.Block, jobs []BlockJob, img *imgmodel.Image, opt Options, cumRates []float64, extraOverhead int) [][]int {
+	return allocateLayersRD(BuildLadders(blocks), img, opt, cumRates, extraOverhead, 1)
+}
+
+// allocateLayersRD is the ladder-level core of AllocateLayers. The
+// ladders' hulls are computed on first use (possibly already cached by
+// the Tier-1 jobs) and reused across layers and overhead retries; the
+// per-layer truncation search fans out over `workers`. Selections are
+// identical for every worker count and hull provenance.
+func allocateLayersRD(rd []rate.BlockRD, img *imgmodel.Image, opt Options, cumRates []float64, extraOverhead, workers int) [][]int {
 	raw := img.W * img.H * len(img.Comps) * img.Depth / 8
-	rd := make([]rate.BlockRD, len(blocks))
-	for i, b := range blocks {
-		for _, p := range b.Passes {
-			rd[i].Rates = append(rd[i].Rates, p.CumLen)
-			last := 0.0
-			if n := len(rd[i].Dists); n > 0 {
-				last = rd[i].Dists[n-1]
-			}
-			rd[i].Dists = append(rd[i].Dists, last+p.DistDelta)
-		}
-	}
 	final := cumRates[len(cumRates)-1]
 	keeps := make([][]int, len(cumRates))
 	var prev []int
 	for l, r := range cumRates {
 		if r <= 0 { // unconstrained final layer: keep everything
-			keeps[l] = FullKeep(blocks)
+			full := make([]int, len(rd))
+			for i := range rd {
+				full[i] = len(rd[i].Rates)
+			}
+			keeps[l] = full
 		} else {
-			overhead := 128 + 3*len(blocks)*(l+1)/len(cumRates)
+			overhead := 128 + 3*len(rd)*(l+1)/len(cumRates)
 			if final > 0 {
 				overhead += int(float64(extraOverhead) * r / final)
 			} else {
 				overhead += extraOverhead
 			}
 			budget := int(r*float64(raw)) - overhead
-			keeps[l] = rate.Allocate(rd, budget)
+			keeps[l] = rate.AllocateParallel(rd, budget, workers)
 		}
 		// Layers are embedded: each extends the previous selection.
 		if prev != nil {

@@ -10,6 +10,7 @@ import (
 	"j2kcell/internal/imgmodel"
 	"j2kcell/internal/mct"
 	"j2kcell/internal/quant"
+	"j2kcell/internal/rate"
 	"j2kcell/internal/t1"
 )
 
@@ -286,14 +287,21 @@ func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 }
 
 // Tier1Int codes every block job from the reversible coefficient planes
-// through the shared work queue.
-func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.Mode) []*t1.Block {
+// through the shared work queue. When rd is non-nil (rate-constrained
+// encodes), each job also builds its block's R-D ladder and convex hull
+// in rd[i], so the hull sweep rides the parallel stage instead of the
+// sequential rate-control tail.
+func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.Mode, rd []rate.BlockRD) []*t1.Block {
 	blocks := make([]*t1.Block, len(jobs))
 	p.run(len(jobs), func(i int) {
 		j := jobs[i]
 		pl := planes[j.Comp]
 		blocks[i] = t1.Encode(pl.Data[j.Y0*pl.Stride+j.X0:], j.W, j.H, pl.Stride,
 			j.Band.Orient, mode, j.Gain)
+		if rd != nil {
+			rd[i] = LadderOf(blocks[i])
+			rd[i].ComputeHull()
+		}
 	})
 	return blocks
 }
@@ -302,8 +310,10 @@ func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.M
 // a job quantizes its own w×h region into pooled scratch and entropy
 // codes it, so quantization and Tier-1 flow through the same queue
 // (the paper's load-balancing scheme) with no intermediate full-size
-// integer planes. Elementwise identical to quantize-then-code.
-func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt Options) []*t1.Block {
+// integer planes. Elementwise identical to quantize-then-code. As in
+// Tier1Int, a non-nil rd gets each block's R-D ladder and hull filled
+// inside its job.
+func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt Options, rd []rate.BlockRD) []*t1.Block {
 	mode := opt.Mode()
 	blocks := make([]*t1.Block, len(jobs))
 	p.run(len(jobs), func(i int) {
@@ -314,6 +324,10 @@ func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt O
 		quant.QuantizeBlock(*buf, j.W, fp.Data[j.Y0*fp.Stride+j.X0:], fp.Stride, j.W, j.H, delta)
 		blocks[i] = t1.Encode(*buf, j.W, j.H, j.W, j.Band.Orient, mode, j.Gain)
 		putI32(buf)
+		if rd != nil {
+			rd[i] = LadderOf(blocks[i])
+			rd[i].ComputeHull()
+		}
 	})
 	return blocks
 }
@@ -363,21 +377,28 @@ func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, err
 	opt = opt.WithDefaults(img.W, img.H)
 	p := NewPipeline(workers)
 	_, jobs := PlanBlocks(img.W, img.H, len(img.Comps), opt)
+	// Rate-constrained encodes build each block's R-D ladder and convex
+	// hull inside its Tier-1 job, leaving only the λ search sequential
+	// (and even its truncation scans fan out inside FinishRD).
+	var rd []rate.BlockRD
+	if !opt.Lossless && opt.layerRates() != nil {
+		rd = make([]rate.BlockRD, len(jobs))
+	}
 	var blocks []*t1.Block
 	if opt.Lossless {
 		planes := p.MCTInt(img, opt)
 		p.DWT53(planes, opt)
-		blocks = p.Tier1Int(planes, jobs, opt.Mode())
+		blocks = p.Tier1Int(planes, jobs, opt.Mode(), rd)
 		for _, pl := range planes {
 			imgmodel.PutPlane(pl)
 		}
 	} else {
 		fplanes := p.MCTFloat(img, opt)
 		p.DWT97(fplanes, opt)
-		blocks = p.Tier1Float(fplanes, jobs, opt)
+		blocks = p.Tier1Float(fplanes, jobs, opt, rd)
 		for _, fp := range fplanes {
 			imgmodel.PutFPlane(fp)
 		}
 	}
-	return Finish(img, opt, jobs, blocks), nil
+	return FinishRD(img, opt, jobs, blocks, rd, p.workers), nil
 }

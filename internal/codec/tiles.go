@@ -5,6 +5,7 @@ import (
 
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/rate"
 	"j2kcell/internal/t1"
 )
 
@@ -39,6 +40,7 @@ type tileCoded struct {
 	img    *imgmodel.Image
 	jobs   []BlockJob
 	blocks []*t1.Block
+	rd     []rate.BlockRD // ladders + hulls, rate-constrained encodes only
 }
 
 // EncodeTiled compresses img as a multi-tile codestream: each tile is
@@ -55,27 +57,39 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	}
 	ncomp := len(img.Comps)
 	mode := opt.Mode()
+	rates := opt.layerRates()
+	constrained := !opt.Lossless && rates != nil
 	grid := TileGrid(img.W, img.H, opt.TileW, opt.TileH)
 	tiles := make([]*tileCoded, len(grid))
 
 	// Transform and Tier-1 code every tile through the shared work
 	// queue (tiles are fully independent), recycling each tile's
-	// coefficient planes once its blocks are coded.
+	// coefficient planes once its blocks are coded. Rate-constrained
+	// encodes also build each block's R-D ladder and convex hull here,
+	// inside the parallel stage.
 	NewPipeline(workers).run(len(grid), func(i int) {
 		r := grid[i]
 		sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
 		planes := ForwardTransform(sub, opt)
 		_, jobs := PlanBlocks(r.W, r.H, ncomp, opt)
 		blocks := make([]*t1.Block, len(jobs))
+		var rd []rate.BlockRD
+		if constrained {
+			rd = make([]rate.BlockRD, len(jobs))
+		}
 		for bi, j := range jobs {
 			p := planes[j.Comp]
 			blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
 				j.Band.Orient, mode, j.Gain)
+			if constrained {
+				rd[bi] = LadderOf(blocks[bi])
+				rd[bi].ComputeHull()
+			}
 		}
 		for _, p := range planes {
 			imgmodel.PutPlane(p)
 		}
-		tiles[i] = &tileCoded{rect: r, img: sub, jobs: jobs, blocks: blocks}
+		tiles[i] = &tileCoded{rect: r, img: sub, jobs: jobs, blocks: blocks, rd: rd}
 	})
 
 	// Global M_b and global rate allocation across all tiles' blocks.
@@ -83,16 +97,16 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	var mb [][]int
 	var allBlocks []*t1.Block
 	var allJobs []BlockJob
+	var allRD []rate.BlockRD
 	bounds := make([]int, 0, len(tiles)+1)
 	for _, t := range tiles {
 		bounds = append(bounds, len(allBlocks))
 		mb = MergeMb(mb, ComputeMb(ncomp, nbands, t.jobs, t.blocks))
 		allBlocks = append(allBlocks, t.blocks...)
 		allJobs = append(allJobs, t.jobs...)
+		allRD = append(allRD, t.rd...)
 	}
 	bounds = append(bounds, len(allBlocks))
-
-	rates := opt.layerRates()
 	build := func(keeps [][]int) ([]byte, int) {
 		bodies := make([][]byte, len(tiles))
 		bodyTotal := 0
@@ -118,15 +132,14 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	}
 
 	keeps := [][]int{FullKeep(allBlocks)}
-	constrained := !opt.Lossless && rates != nil
 	if constrained {
-		keeps = AllocateLayers(allBlocks, allJobs, img, opt, rates, 0)
+		keeps = allocateLayersRD(allRD, img, opt, rates, 0, workers)
 	}
 	data, bodyTotal := build(keeps)
 	if constrained {
 		target := int(rates[len(rates)-1] * float64(img.W*img.H*ncomp*img.Depth/8))
 		for extra := 16; len(data) > target && extra < target; extra *= 2 {
-			keeps = AllocateLayers(allBlocks, allJobs, img, opt, rates, len(data)-target+extra)
+			keeps = allocateLayersRD(allRD, img, opt, rates, len(data)-target+extra, workers)
 			data, bodyTotal = build(keeps)
 		}
 	}

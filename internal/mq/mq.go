@@ -5,6 +5,8 @@
 // decoder are provided; EBCOT Tier-1 drives them with 19 contexts.
 package mq
 
+import "math/bits"
+
 // state is one row of the Qe table.
 type state struct {
 	qe         uint32
@@ -63,15 +65,48 @@ var qeTable = [47]state{
 	{0x5601, 46, 46, 0},
 }
 
-// Context is one adaptive probability context: a table index and the
-// current most-probable-symbol value.
+// mpsState is one row of the MPS-folded probability table: the 47-row
+// spec table expanded to 94 rows indexed by i<<1 | mps, so that a
+// state transition carries the (possibly switched) MPS value with it
+// and the coding loops never touch the switch flag.
+type mpsState struct {
+	qe         uint32
+	nmps, nlps uint8
+	mps        uint8
+}
+
+// qeTable94 is derived from qeTable in init: entry 2i+m is spec state
+// i with current MPS m; its NLPS successor folds in the SWITCH rule.
+var qeTable94 [94]mpsState
+
+func init() {
+	for i, s := range qeTable {
+		for m := uint8(0); m < 2; m++ {
+			lm := m
+			if s.sw == 1 {
+				lm = 1 - m
+			}
+			qeTable94[2*i+int(m)] = mpsState{
+				qe:   s.qe,
+				nmps: s.nmps<<1 | m,
+				nlps: s.nlps<<1 | lm,
+				mps:  m,
+			}
+		}
+	}
+}
+
+// Context is one adaptive probability context: a copy of its current
+// MPS-folded table row. Caching the row turns the per-decision
+// dependent chain "load index, then load table row" into a single
+// 8-byte load; transitions copy a row, which only happens on
+// renormalization events.
 type Context struct {
-	i   uint8
-	mps uint8
+	s mpsState
 }
 
 // NewContext returns a context initialized to table state i0 with MPS 0.
-func NewContext(i0 uint8) Context { return Context{i: i0} }
+func NewContext(i0 uint8) Context { return Context{s: qeTable94[2*i0]} }
 
 // Encoder is the MQ arithmetic encoder. The zero value is not usable;
 // call Reset first.
@@ -92,51 +127,113 @@ func (e *Encoder) Reset() {
 	e.buf = e.buf[:0]
 }
 
-// Encode codes decision d (0 or 1) in context cx.
+// Encode codes decision d (0 or 1) in context cx. The common path — a
+// most-probable symbol with no renormalization — returns after one
+// compare and two adds; the renormalization loop is unrolled inline so
+// the interval registers stay out of memory between shifts.
 func (e *Encoder) Encode(d int, cx *Context) {
-	s := &qeTable[cx.i]
-	if uint8(d) == cx.mps {
+	s := cx.s
+	qe := s.qe
+	a := e.a - qe
+	if uint8(d) == s.mps {
 		// CODEMPS
-		e.a -= s.qe
-		if e.a&0x8000 == 0 {
-			if e.a < s.qe {
-				e.a = s.qe
-			} else {
-				e.c += s.qe
-			}
-			cx.i = s.nmps
-			e.renorm()
-		} else {
-			e.c += s.qe
-		}
-		return
-	}
-	// CODELPS
-	e.a -= s.qe
-	if e.a < s.qe {
-		e.c += s.qe
-	} else {
-		e.a = s.qe
-	}
-	if s.sw == 1 {
-		cx.mps = 1 - cx.mps
-	}
-	cx.i = s.nlps
-	e.renorm()
-}
-
-func (e *Encoder) renorm() {
-	for {
-		e.a <<= 1
-		e.c <<= 1
-		e.ct--
-		if e.ct == 0 {
-			e.byteOut()
-		}
-		if e.a&0x8000 != 0 {
+		if a&0x8000 != 0 {
+			e.a = a
+			e.c += qe
 			return
 		}
+		if a < qe {
+			a = qe
+		} else {
+			e.c += qe
+		}
+		cx.s = qeTable94[s.nmps]
+	} else {
+		// CODELPS (the MPS switch is folded into the nlps row)
+		if a < qe {
+			e.c += qe
+		} else {
+			a = qe
+		}
+		cx.s = qeTable94[s.nlps]
 	}
+	// RENORME
+	c, ct := e.c, e.ct
+	for {
+		a <<= 1
+		c <<= 1
+		ct--
+		if ct == 0 {
+			e.c = c
+			e.byteOut()
+			c, ct = e.c, e.ct
+		}
+		if a&0x8000 != 0 {
+			break
+		}
+	}
+	e.a, e.c, e.ct = a, c, ct
+}
+
+
+// EncodeBatch codes a run of packed decisions — each op is ctx<<1 | d,
+// an index into cxs plus the decision bit — in order. It is exactly
+// equivalent to calling Encode for each op; batching exists so the
+// interval registers a, c and the shift counter stay in locals across
+// the whole run instead of round-tripping through the struct per bit.
+// Tier-1 can defer coding this way because its decision sequence never
+// depends on the encoder's interval state.
+func (e *Encoder) EncodeBatch(ops []uint8, cxs []Context) {
+	a, c, ct := e.a, e.c, e.ct
+	for _, op := range ops {
+		cx := &cxs[op>>1]
+		s := cx.s
+		qe := s.qe
+		dm := op&1 ^ s.mps // 0 ⇒ most probable symbol
+		a -= qe
+		// CODEMPS without renormalization — the common case for adapted
+		// contexts — needs dm == 0 and bit 15 of a set. a never exceeds
+		// 0xFFFF, so shifting by dm folds both tests into one branch.
+		if a>>dm&0x8000 != 0 {
+			c += qe
+			continue
+		}
+		// Interval assignment (with conditional exchange) and next
+		// state, arranged as single-assignment conditionals so the
+		// unpredictable decision bit selects via CMOV instead of a
+		// branch. exch ⇔ the sub-interval becomes qe: on the MPS path
+		// when a < qe, on the LPS path when a ≥ qe.
+		exch := (a < qe) == (dm == 0)
+		nc := c + qe
+		if exch {
+			nc = c
+		}
+		if exch {
+			a = qe
+		}
+		c = nc
+		ni := s.nlps
+		if dm == 0 {
+			ni = s.nmps
+		}
+		cx.s = qeTable94[ni]
+		// RENORME: a < 0x8000 here, so at least one shift. Shifting in
+		// ct-bounded chunks keeps c within its 28-bit register between
+		// byte-outs, exactly as the bit-at-a-time loop does.
+		shift := bits.LeadingZeros32(a) - 16
+		for shift >= ct {
+			a <<= uint(ct)
+			c <<= uint(ct)
+			shift -= ct
+			e.c = c
+			e.byteOut()
+			c, ct = e.c, e.ct
+		}
+		a <<= uint(shift)
+		c <<= uint(shift)
+		ct -= shift
+	}
+	e.a, e.c, e.ct = a, c, ct
 }
 
 func (e *Encoder) byteOut() {
@@ -247,56 +344,50 @@ func (d *Decoder) byteIn() {
 	}
 }
 
-// Decode returns the next decision in context cx.
+// Decode returns the next decision in context cx. As in the encoder,
+// the common no-renormalization path returns early and the
+// renormalization loop is inlined to keep the interval registers live.
 func (d *Decoder) Decode(cx *Context) int {
-	s := &qeTable[cx.i]
+	s := cx.s
+	qe := s.qe
 	var bit uint8
-	d.a -= s.qe
-	if (d.c>>16)&0xFFFF < s.qe {
+	a := d.a - qe
+	if (d.c>>16)&0xFFFF < qe {
 		// LPS exchange path.
-		if d.a < s.qe {
-			bit = cx.mps
-			cx.i = s.nmps
+		if a < qe {
+			bit = s.mps
+			cx.s = qeTable94[s.nmps]
 		} else {
-			bit = 1 - cx.mps
-			if s.sw == 1 {
-				cx.mps = 1 - cx.mps
-			}
-			cx.i = s.nlps
+			bit = 1 - s.mps
+			cx.s = qeTable94[s.nlps]
 		}
-		d.a = s.qe
-		d.renorm()
+		a = qe
 	} else {
-		d.c -= s.qe << 16
-		if d.a&0x8000 == 0 {
-			if d.a < s.qe {
-				bit = 1 - cx.mps
-				if s.sw == 1 {
-					cx.mps = 1 - cx.mps
-				}
-				cx.i = s.nlps
-			} else {
-				bit = cx.mps
-				cx.i = s.nmps
-			}
-			d.renorm()
+		d.c -= qe << 16
+		if a&0x8000 != 0 {
+			d.a = a
+			return int(s.mps)
+		}
+		if a < qe {
+			bit = 1 - s.mps
+			cx.s = qeTable94[s.nlps]
 		} else {
-			bit = cx.mps
+			bit = s.mps
+			cx.s = qeTable94[s.nmps]
 		}
 	}
-	return int(bit)
-}
-
-func (d *Decoder) renorm() {
+	// RENORMD
 	for {
 		if d.ct == 0 {
 			d.byteIn()
 		}
-		d.a <<= 1
+		a <<= 1
 		d.c <<= 1
 		d.ct--
-		if d.a&0x8000 != 0 {
-			return
+		if a&0x8000 != 0 {
+			break
 		}
 	}
+	d.a = a
+	return int(bit)
 }

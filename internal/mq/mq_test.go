@@ -7,11 +7,20 @@ import (
 	"j2kcell/internal/workload"
 )
 
+// freshContexts returns n contexts at initial table state 0.
+func freshContexts(n int) []Context {
+	cxs := make([]Context, n)
+	for i := range cxs {
+		cxs[i] = NewContext(0)
+	}
+	return cxs
+}
+
 // roundTrip encodes the decision sequence with ctxIDs selecting among
 // nctx contexts, then decodes and compares.
 func roundTrip(t *testing.T, bits []int, ctxIDs []int, nctx int) {
 	t.Helper()
-	encCtx := make([]Context, nctx)
+	encCtx := freshContexts(nctx)
 	var e Encoder
 	e.Reset()
 	for i, b := range bits {
@@ -19,7 +28,7 @@ func roundTrip(t *testing.T, bits []int, ctxIDs []int, nctx int) {
 	}
 	data := e.Flush()
 
-	decCtx := make([]Context, nctx)
+	decCtx := freshContexts(nctx)
 	d := NewDecoder(data)
 	for i := range bits {
 		if got := d.Decode(&decCtx[ctxIDs[i]]); got != bits[i] {
@@ -62,14 +71,14 @@ func TestPropRoundTripRandom(t *testing.T) {
 			bits[i] = rng.Intn(2)
 			ids[i] = rng.Intn(nctx)
 		}
-		encCtx := make([]Context, nctx)
+		encCtx := freshContexts(nctx)
 		var e Encoder
 		e.Reset()
 		for i, b := range bits {
 			e.Encode(b, &encCtx[ids[i]])
 		}
 		data := e.Flush()
-		decCtx := make([]Context, nctx)
+		decCtx := freshContexts(nctx)
 		d := NewDecoder(data)
 		for i := range bits {
 			if d.Decode(&decCtx[ids[i]]) != bits[i] {
@@ -142,7 +151,7 @@ func TestNoUnstuffedMarkersInOutput(t *testing.T) {
 	rng := workload.NewRNG(3)
 	var e Encoder
 	e.Reset()
-	ctxs := make([]Context, 4)
+	ctxs := freshContexts(4)
 	for i := 0; i < 200000; i++ {
 		e.Encode(rng.Intn(2), &ctxs[rng.Intn(4)])
 	}
@@ -238,8 +247,31 @@ func TestEncoderResetReusesBuffer(t *testing.T) {
 
 func TestContextInitialState(t *testing.T) {
 	c := NewContext(46)
-	if c.i != 46 || c.mps != 0 {
+	if c.s != qeTable94[2*46] || c.s.mps != 0 {
 		t.Fatalf("context init: %+v", c)
+	}
+}
+
+func TestMPSFoldedTableMatchesSpec(t *testing.T) {
+	// Every folded row must carry its spec row's Qe and transitions,
+	// with the SWITCH rule applied to the LPS successor's MPS bit.
+	for i, s := range qeTable {
+		for m := uint8(0); m < 2; m++ {
+			f := qeTable94[2*i+int(m)]
+			if f.qe != s.qe || f.mps != m {
+				t.Fatalf("state %d mps %d: row %+v", i, m, f)
+			}
+			if f.nmps>>1 != s.nmps || f.nmps&1 != m {
+				t.Fatalf("state %d mps %d: bad MPS successor %d", i, m, f.nmps)
+			}
+			wantM := m
+			if s.sw == 1 {
+				wantM = 1 - m
+			}
+			if f.nlps>>1 != s.nlps || f.nlps&1 != wantM {
+				t.Fatalf("state %d mps %d: bad LPS successor %d", i, m, f.nlps)
+			}
+		}
 	}
 }
 

@@ -4,28 +4,44 @@
 // chooses a truncation point for each block so total bytes meet a
 // budget with minimal total distortion. The paper runs this stage
 // sequentially on the PPE; at 16 SPE + 2 PPE it is ~60% of lossy
-// encoding time, the Amdahl term that flattens Figure 5.
+// encoding time, the Amdahl term that flattens Figure 5. This port
+// breaks that term two ways: hull construction is embarrassingly
+// parallel per block (and can ride inside the Tier-1 block jobs, see
+// BlockRD.ComputeHull), and the λ bisection's per-block truncation
+// scan fans out across workers with deterministic integer reduction.
 package rate
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // BlockRD is the rate-distortion ladder of one code block: cumulative
 // bytes and cumulative distortion reduction after each coding pass.
+// Hull caches the block's convex hull; nil means not yet computed.
+// Filling it via ComputeHull inside the (already parallel) Tier-1
+// block job moves the hull sweep off the sequential rate-control tail.
 type BlockRD struct {
 	Rates []int
 	Dists []float64
+	Hull  []HullPoint
 }
 
-// hullPoint is a truncation point surviving the convex-hull sweep.
-type hullPoint struct {
-	pass  int // number of passes kept (1-based)
-	slope float64
+// HullPoint is a truncation point surviving the convex-hull sweep.
+type HullPoint struct {
+	Pass  int // number of passes kept (1-based)
+	Slope float64
 }
+
+// ComputeHull computes and caches the block's convex hull. The result
+// is always non-nil, so allocation can tell "computed, empty" from
+// "not yet computed".
+func (b *BlockRD) ComputeHull() { b.Hull = hull(*b) }
 
 // hull computes the strictly-decreasing-slope convex hull of a block's
 // R-D ladder (slope = ΔD/ΔR from the previous hull point), the set of
 // truncation points PCRD may legally choose.
-func hull(b BlockRD) []hullPoint {
+func hull(b BlockRD) []HullPoint {
 	at := func(i int) (int, float64) {
 		if i < 0 {
 			return 0, 0
@@ -69,14 +85,37 @@ func hull(b BlockRD) []hullPoint {
 			stack = append(stack, i)
 		}
 	}
-	pts := make([]hullPoint, 0, len(stack))
+	pts := make([]HullPoint, 0, len(stack))
 	pr, pd := 0, 0.0
 	for _, i := range stack {
 		r, d := at(i)
-		pts = append(pts, hullPoint{pass: i + 1, slope: (d - pd) / float64(r-pr)})
+		pts = append(pts, HullPoint{Pass: i + 1, Slope: (d - pd) / float64(r-pr)})
 		pr, pd = r, d
 	}
 	return pts
+}
+
+// parallelBlocks splits [0,n) into one contiguous chunk per worker and
+// runs fn(w, lo, hi) on each concurrently; a single worker (or a tiny
+// n) runs inline with no goroutines.
+func parallelBlocks(n, workers int, fn func(w, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := n*w/workers, n*(w+1)/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}()
+	}
+	wg.Wait()
 }
 
 // Allocate returns, for each block, the number of passes to keep so
@@ -84,16 +123,35 @@ func hull(b BlockRD) []hullPoint {
 // distortion. A non-positive budget keeps nothing; a budget beyond the
 // total keeps everything.
 func Allocate(blocks []BlockRD, budget int) []int {
-	hulls := make([][]hullPoint, len(blocks))
+	return AllocateParallel(blocks, budget, 1)
+}
+
+// AllocateParallel is Allocate with the per-block work — hull
+// construction for blocks whose Hull is nil, and the truncation scan
+// inside each λ probe — fanned out over the given number of workers.
+// The result is identical for every worker count: block selections are
+// written to disjoint indices and byte totals are integer sums reduced
+// in chunk order.
+func AllocateParallel(blocks []BlockRD, budget, workers int) []int {
+	if workers < 1 {
+		workers = 1
+	}
+	parallelBlocks(len(blocks), workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if blocks[i].Hull == nil {
+				blocks[i].ComputeHull()
+			}
+		}
+	})
+
 	total := 0
 	var slopes []float64
-	for i, b := range blocks {
-		hulls[i] = hull(b)
-		if n := len(b.Rates); n > 0 {
-			total += b.Rates[n-1]
+	for i := range blocks {
+		if n := len(blocks[i].Rates); n > 0 {
+			total += blocks[i].Rates[n-1]
 		}
-		for _, p := range hulls[i] {
-			slopes = append(slopes, p.slope)
+		for _, p := range blocks[i].Hull {
+			slopes = append(slopes, p.Slope)
 		}
 	}
 	out := make([]int, len(blocks))
@@ -101,8 +159,8 @@ func Allocate(blocks []BlockRD, budget int) []int {
 		return out
 	}
 	if total <= budget {
-		for i, b := range blocks {
-			out[i] = len(b.Rates)
+		for i := range blocks {
+			out[i] = len(blocks[i].Rates)
 		}
 		return out
 	}
@@ -111,20 +169,28 @@ func Allocate(blocks []BlockRD, budget int) []int {
 	// hull point with slope >= λ.
 	pick := func(lambda float64) ([]int, int) {
 		sel := make([]int, len(blocks))
-		bytes := 0
-		for i, h := range hulls {
-			keep := 0
-			for _, p := range h {
-				if p.slope >= lambda {
-					keep = p.pass
-				} else {
-					break
+		partial := make([]int, workers)
+		parallelBlocks(len(blocks), workers, func(w, lo, hi int) {
+			bytes := 0
+			for i := lo; i < hi; i++ {
+				keep := 0
+				for _, p := range blocks[i].Hull {
+					if p.Slope >= lambda {
+						keep = p.Pass
+					} else {
+						break
+					}
+				}
+				sel[i] = keep
+				if keep > 0 {
+					bytes += blocks[i].Rates[keep-1]
 				}
 			}
-			sel[i] = keep
-			if keep > 0 {
-				bytes += blocks[i].Rates[keep-1]
-			}
+			partial[w] = bytes
+		})
+		bytes := 0
+		for _, b := range partial {
+			bytes += b
 		}
 		return sel, bytes
 	}

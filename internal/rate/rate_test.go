@@ -32,10 +32,10 @@ func TestHullSlopesStrictlyDecrease(t *testing.T) {
 			t.Fatal("empty hull for non-trivial ladder")
 		}
 		for i := 1; i < len(h); i++ {
-			if h[i].slope >= h[i-1].slope {
-				t.Fatalf("seed %d: hull slopes not decreasing: %v then %v", seed, h[i-1].slope, h[i].slope)
+			if h[i].Slope >= h[i-1].Slope {
+				t.Fatalf("seed %d: hull slopes not decreasing: %v then %v", seed, h[i-1].Slope, h[i].Slope)
 			}
-			if h[i].pass <= h[i-1].pass {
+			if h[i].Pass <= h[i-1].Pass {
 				t.Fatalf("hull passes not increasing")
 			}
 		}
@@ -51,7 +51,7 @@ func TestHullDropsDominatedPoints(t *testing.T) {
 	}
 	h := hull(b)
 	for _, p := range h {
-		if p.pass == 2 {
+		if p.Pass == 2 {
 			t.Fatalf("dominated pass on hull: %+v", h)
 		}
 	}
@@ -64,7 +64,7 @@ func TestHullZeroBytePass(t *testing.T) {
 	}
 	h := hull(b)
 	// The free pass 2 must replace pass 1 as a hull point.
-	if h[0].pass != 2 {
+	if h[0].Pass != 2 {
 		t.Fatalf("free pass not merged: %+v", h)
 	}
 }
@@ -189,5 +189,43 @@ func TestLagrangianDecreasingInLambdaSelection(t *testing.T) {
 	full := Allocate(blocks, 1<<20)
 	if got := Lagrangian(blocks, dist0, full, 0); got <= 0 {
 		t.Fatalf("Lagrangian %v", got)
+	}
+}
+
+func TestAllocateParallelMatchesSequential(t *testing.T) {
+	// The selection must be byte-for-byte identical at every worker
+	// count, whether hulls are computed inside the call or were cached
+	// beforehand (as the Tier-1 block jobs do).
+	mk := func() []BlockRD {
+		blocks := make([]BlockRD, 257)
+		for i := range blocks {
+			blocks[i] = diminishing(3+i%25, uint32(900+i))
+		}
+		return blocks
+	}
+	base := mk()
+	budget := 0
+	for _, b := range base {
+		budget += b.Rates[len(b.Rates)-1]
+	}
+	budget /= 7
+	want := Allocate(mk(), budget)
+	for _, w := range []int{0, 2, 3, 8, 33, 1000} {
+		got := AllocateParallel(mk(), budget, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: block %d selects %d passes, sequential %d", w, i, got[i], want[i])
+			}
+		}
+		pre := mk()
+		for i := range pre {
+			pre[i].ComputeHull()
+		}
+		got = AllocateParallel(pre, budget, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d precomputed hulls: block %d selects %d, want %d", w, i, got[i], want[i])
+			}
+		}
 	}
 }

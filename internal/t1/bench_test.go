@@ -1,0 +1,64 @@
+package t1
+
+import (
+	"fmt"
+	"testing"
+
+	"j2kcell/internal/dwt"
+)
+
+// benchContent generates the two canonical code-block statistics: dense
+// (every coefficient non-zero, all planes busy — the Tier-1 worst case)
+// and sparse (wavelet detail statistics: mostly quiet stripe columns,
+// the case the skip masks target).
+func benchContent(kind string, w, h int, seed uint32) []int32 {
+	if kind == "dense" {
+		return randBlock(w, h, seed, 400)
+	}
+	return sparseBlock(w, h, seed)
+}
+
+// Benchmark_T1EncodeBlock prices the Tier-1 block coder itself across
+// orientation (context table), content statistics, and block geometry.
+// PR 2's acceptance floor: dense 64×64 must be ≥ 1.5× the pre-PR coder.
+func Benchmark_T1EncodeBlock(b *testing.B) {
+	for _, o := range []dwt.Orient{dwt.LL, dwt.HL, dwt.LH, dwt.HH} {
+		for _, kind := range []string{"sparse", "dense"} {
+			for _, n := range []int{32, 64} {
+				coef := benchContent(kind, n, n, uint32(n)+uint32(o)*17+3)
+				b.Run(fmt.Sprintf("%v/%s/%dx%d", o, kind, n, n), func(b *testing.B) {
+					b.SetBytes(int64(4 * n * n))
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						Encode(coef, n, n, n, o, ModeSingle, 1.0)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Benchmark_T1EncodeBlockTermAll prices the rate-control coding mode
+// (one MQ termination per pass), the mode PCRD truncates.
+func Benchmark_T1EncodeBlockTermAll(b *testing.B) {
+	coef := benchContent("dense", 64, 64, 9)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(coef, 64, 64, 64, dwt.HL, ModeTermAll, 1.0)
+	}
+}
+
+// Benchmark_T1DecodeBlock prices the mirrored decoder path.
+func Benchmark_T1DecodeBlock(b *testing.B) {
+	coef := benchContent("dense", 64, 64, 11)
+	blk := Encode(coef, 64, 64, 64, dwt.HL, ModeSingle, 1.0)
+	out := make([]int32, 64*64)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Decode(out, 64, 64, 64, dwt.HL, ModeSingle, blk.NumBPS, len(blk.Passes), blk.Data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

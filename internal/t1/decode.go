@@ -7,7 +7,11 @@ import (
 	"j2kcell/internal/mq"
 )
 
-// decoder mirrors the encoder pass for pass.
+// decoder mirrors the encoder pass for pass. It shares the flag-word
+// scheme and context LUTs with the encoder, so its context sequence is
+// identical by construction; the column-skip fast paths fire exactly
+// where the encoder emitted nothing (they are pure functions of the
+// same flag state), keeping the two in lockstep on the bitstream.
 type decoder struct {
 	*coder
 	mq        *mq.Decoder
@@ -73,7 +77,6 @@ func Decode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, numBPS
 			d.clnPass(p)
 			pass++
 		}
-		c.clearVisit()
 	}
 
 	// Midpoint reconstruction at each coefficient's reached precision.
@@ -88,7 +91,7 @@ func Decode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, numBPS
 				m += 1 << uint(lp-1)
 			}
 			v := int32(m)
-			if c.flags[c.fidx(x, y)]&fNeg != 0 {
+			if c.flags[c.fidx(x, y)]&fwNeg != 0 {
 				v = -v
 			}
 			coef[y*stride+x] = v
@@ -99,104 +102,146 @@ func Decode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, numBPS
 
 func (d *decoder) decodeBit(ctx int) int { return d.mq.Decode(&d.cx[ctx]) }
 
-// decodeSignificance reads the sign of a newly significant coefficient
-// and sets its flags and magnitude bit.
-func (d *decoder) decodeSignificance(x, y, fi, p int) {
-	ctx, xor := d.scContext(fi)
-	bit := d.decodeBit(ctx)
-	if uint8(bit)^xor == 1 {
-		d.flags[fi] |= fNeg
+// decodeSignificance reads the sign of a newly significant coefficient,
+// propagates its significance into the neighbor flag words, and sets
+// its magnitude bit.
+func (d *decoder) decodeSignificance(fi, mi, p int) {
+	fv := d.flags[fi]
+	sc := lutSC[scIndex(fv)]
+	bit := d.decodeBit(ctxSC + int(sc&7))
+	neg := uint8(bit)^(sc>>3) == 1
+	if neg {
+		d.flags[fi] |= fwNeg
 	}
-	d.flags[fi] |= fSig
-	d.mag[y*d.w+x] |= 1 << uint(p)
-	d.lastPlane[y*d.w+x] = int8(p)
+	d.setSig(fi, neg)
+	d.mag[mi] |= 1 << uint(p)
+	d.lastPlane[mi] = int8(p)
 }
 
 func (d *decoder) sigPass(p int) {
-	for y0 := 0; y0 < d.h; y0 += 4 {
-		for x := 0; x < d.w; x++ {
-			ymax := y0 + 4
-			if ymax > d.h {
-				ymax = d.h
+	w, h, fw := d.w, d.h, d.fw
+	f := d.flags
+	zc := &lutZC[d.zcTab]
+	vp := visitStamp(p)
+	for y0 := 0; y0 < h; y0 += 4 {
+		sh := h - y0
+		if sh > 4 {
+			sh = 4
+		}
+		fi0 := (y0+1)*fw + 1
+		mi0 := y0 * w
+		for x := 0; x < w; x++ {
+			fi := fi0 + x
+			or, and := f[fi], f[fi]
+			for k := 1; k < sh; k++ {
+				v := f[fi+k*fw]
+				or |= v
+				and &= v
 			}
-			for y := y0; y < ymax; y++ {
-				fi := d.fidx(x, y)
-				if d.flags[fi]&fSig != 0 {
-					continue
+			// Mirrors the encoder: no significant neighbor anywhere or
+			// every coefficient already significant ⇒ nothing was coded.
+			if or&fwSigNbr == 0 || and&fwSig != 0 {
+				continue
+			}
+			mi := mi0 + x
+			for k := 0; k < sh; k++ {
+				fv := f[fi]
+				if fv&fwSig == 0 {
+					if c := zc[fv>>4&0xFF]; c != 0 {
+						if d.decodeBit(ctxZC+int(c)) == 1 {
+							d.decodeSignificance(fi, mi, p)
+						}
+						f[fi] = f[fi]&^fwVisitMask | vp
+					}
 				}
-				zc := d.zcContext(fi)
-				if zc == 0 {
-					continue
-				}
-				if d.decodeBit(ctxZC+zc) == 1 {
-					d.decodeSignificance(x, y, fi, p)
-				}
-				d.flags[fi] |= fVisit
+				fi += fw
+				mi += w
 			}
 		}
 	}
 }
 
 func (d *decoder) refPass(p int) {
-	for y0 := 0; y0 < d.h; y0 += 4 {
-		for x := 0; x < d.w; x++ {
-			ymax := y0 + 4
-			if ymax > d.h {
-				ymax = d.h
+	w, h, fw := d.w, d.h, d.fw
+	f := d.flags
+	vp := visitStamp(p)
+	up := uint(p)
+	for y0 := 0; y0 < h; y0 += 4 {
+		sh := h - y0
+		if sh > 4 {
+			sh = 4
+		}
+		fi0 := (y0+1)*fw + 1
+		mi0 := y0 * w
+		for x := 0; x < w; x++ {
+			fi := fi0 + x
+			or := f[fi]
+			for k := 1; k < sh; k++ {
+				or |= f[fi+k*fw]
 			}
-			for y := y0; y < ymax; y++ {
-				fi := d.fidx(x, y)
-				if d.flags[fi]&(fSig|fVisit) != fSig {
-					continue
+			if or&fwSig == 0 {
+				continue // nothing significant in the column
+			}
+			mi := mi0 + x
+			for k := 0; k < sh; k++ {
+				fv := f[fi]
+				if fv&fwSig != 0 && fv&fwVisitMask != vp {
+					bit := d.decodeBit(mrCtx(fv))
+					d.mag[mi] |= uint32(bit) << up
+					d.lastPlane[mi] = int8(p)
+					f[fi] |= fwRefined
 				}
-				bit := d.decodeBit(d.mrContext(fi))
-				d.mag[y*d.w+x] |= uint32(bit) << uint(p)
-				d.lastPlane[y*d.w+x] = int8(p)
-				d.flags[fi] |= fRefined
+				fi += fw
+				mi += w
 			}
 		}
 	}
 }
 
 func (d *decoder) clnPass(p int) {
-	for y0 := 0; y0 < d.h; y0 += 4 {
-		for x := 0; x < d.w; x++ {
-			fullStripe := y0+4 <= d.h
-			runLen := -1
-			if fullStripe {
-				ok := true
-				for y := y0; y < y0+4 && ok; y++ {
-					fi := d.fidx(x, y)
-					if d.flags[fi]&(fSig|fVisit) != 0 || d.zcContext(fi) != 0 {
-						ok = false
-					}
+	w, h, fw := d.w, d.h, d.fw
+	f := d.flags
+	zc := &lutZC[d.zcTab]
+	vp := visitStamp(p)
+	for y0 := 0; y0 < h; y0 += 4 {
+		sh := h - y0
+		if sh > 4 {
+			sh = 4
+		}
+		fi0 := (y0+1)*fw + 1
+		mi0 := y0 * w
+		for x := 0; x < w; x++ {
+			fi := fi0 + x
+			mi := mi0 + x
+			start := 0
+			if sh == 4 {
+				f0, f1, f2, f3 := f[fi], f[fi+fw], f[fi+2*fw], f[fi+3*fw]
+				if f0&f1&f2&f3&fwSig != 0 {
+					continue // all four significant: encoder coded nothing
 				}
-				if ok {
+				or := f0 | f1 | f2 | f3
+				if or&(fwSig|fwSigNbr) == 0 {
 					if d.decodeBit(ctxRL) == 0 {
 						continue
 					}
-					runLen = d.decodeBit(ctxUNI)<<1 | d.decodeBit(ctxUNI)
-					y := y0 + runLen
-					d.decodeSignificance(x, y, d.fidx(x, y), p)
+					runLen := d.decodeBit(ctxUNI)<<1 | d.decodeBit(ctxUNI)
+					fi += runLen * fw
+					mi += runLen * w
+					d.decodeSignificance(fi, mi, p)
+					fi += fw
+					mi += w
+					start = runLen + 1
 				}
 			}
-			start := y0
-			if runLen >= 0 {
-				start = y0 + runLen + 1
-			}
-			ymax := y0 + 4
-			if ymax > d.h {
-				ymax = d.h
-			}
-			for y := start; y < ymax; y++ {
-				fi := d.fidx(x, y)
-				if d.flags[fi]&(fSig|fVisit) != 0 {
-					continue
+			for k := start; k < sh; k++ {
+				fv := f[fi]
+				if fv&fwSig == 0 && fv&fwVisitMask != vp {
+					if d.decodeBit(ctxZC+int(zc[fv>>4&0xFF])) == 1 {
+						d.decodeSignificance(fi, mi, p)
+					}
 				}
-				zc := d.zcContext(fi)
-				if d.decodeBit(ctxZC+zc) == 1 {
-					d.decodeSignificance(x, y, fi, p)
-				}
+				fi += fw
+				mi += w
 			}
 		}
 	}

@@ -1,0 +1,268 @@
+package t1
+
+import "j2kcell/internal/dwt"
+
+// Incremental neighbor-flag words (the OpenJPEG/JasPer T1_SIG_* scheme).
+//
+// Each coefficient carries one uint32 that caches, alongside its own
+// state, the significance of all 8 neighbors and the sign of the 4
+// horizontal/vertical neighbors. The word is updated once, when a
+// neighbor becomes significant (setSig), instead of being reassembled
+// from eight scattered byte loads every time a context is needed; the
+// zero-coding and sign-coding contexts then collapse into table lookups
+// indexed by the word. Encoder and decoder share the scheme, so their
+// context sequences agree bit for bit by construction.
+//
+// Word layout:
+//
+//	bits  0..3   self state: significant, refined, negative (bit 1 spare)
+//	bits  4..11  neighbor significance N,S,W,E,NW,NE,SW,SE
+//	bits 12..15  neighbor sign N,S,W,E (set = negative; only ever set
+//	             together with the matching significance bit)
+//	bits 16..21  visit stamp: 1 + the plane of the last significance-
+//	             pass visit (0 = never visited)
+//
+// The visit stamp replaces the old per-plane fVisit bit: "visited in
+// this plane" becomes a comparison against the current plane's stamp,
+// so no pass ever sweeps the flags array to clear visit bits (the old
+// clearVisit walked (w+2)*(h+2) bytes per bit plane).
+const (
+	fwSig     uint32 = 1 << 0 // coefficient is significant
+	fwRefined uint32 = 1 << 2 // has been refined at least once
+	fwNeg     uint32 = 1 << 3 // coefficient sign (set = negative)
+
+	fwSigN  uint32 = 1 << 4
+	fwSigS  uint32 = 1 << 5
+	fwSigW  uint32 = 1 << 6
+	fwSigE  uint32 = 1 << 7
+	fwSigNW uint32 = 1 << 8
+	fwSigNE uint32 = 1 << 9
+	fwSigSW uint32 = 1 << 10
+	fwSigSE uint32 = 1 << 11
+
+	fwNegN uint32 = 1 << 12
+	fwNegS uint32 = 1 << 13
+	fwNegW uint32 = 1 << 14
+	fwNegE uint32 = 1 << 15
+
+	fwSigNbr = fwSigN | fwSigS | fwSigW | fwSigE |
+		fwSigNW | fwSigNE | fwSigSW | fwSigSE
+
+	fwVisitShift        = 16
+	fwVisitMask  uint32 = 0x3F << fwVisitShift
+)
+
+// visitStamp is the flag-word visit field value for plane p. Planes are
+// coded in strictly decreasing order, so stale stamps from earlier
+// (higher) planes can never collide with the current plane's stamp.
+func visitStamp(p int) uint32 { return uint32(p+1) << fwVisitShift }
+
+// setSig marks the coefficient at flags index fi significant and pushes
+// its significance (and sign, for the 4 H/V directions the sign-coding
+// context reads) into the neighbor bits of the 8 surrounding words.
+// The one-pixel border absorbs edge writes, so no bounds checks are
+// needed and border garbage is never read: border cells are never coded.
+func (c *coder) setSig(fi int, neg bool) {
+	f := c.flags
+	fw := c.fw
+	f[fi] |= fwSig
+	f[fi-fw-1] |= fwSigSE // this coefficient is its NW neighbor's SE
+	f[fi-fw+1] |= fwSigSW
+	f[fi+fw-1] |= fwSigNE
+	f[fi+fw+1] |= fwSigNW
+	if neg {
+		f[fi-fw] |= fwSigS | fwNegS
+		f[fi+fw] |= fwSigN | fwNegN
+		f[fi-1] |= fwSigE | fwNegE
+		f[fi+1] |= fwSigW | fwNegW
+	} else {
+		f[fi-fw] |= fwSigS
+		f[fi+fw] |= fwSigN
+		f[fi-1] |= fwSigE
+		f[fi+1] |= fwSigW
+	}
+}
+
+// Context lookup tables, built once at init from the reference context
+// functions below (the pre-LUT Table D.1/D.3 logic, kept as the oracle
+// for the differential tests).
+//
+//	lutZC[tab][(word>>4)&0xFF]   zero-coding context 0..8
+//	lutSC[scIndex(word)]         sign context offset (bits 0..2) | XOR<<3
+var (
+	lutZC [3][256]uint8
+	lutSC [256]uint8
+)
+
+// zcTabFor selects the orientation's zero-coding table: LL/LH share one
+// (horizontal neighbors dominate), HL swaps the H/V roles, HH is driven
+// by the diagonals.
+func zcTabFor(o dwt.Orient) int {
+	switch o {
+	case dwt.HL:
+		return 1
+	case dwt.HH:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// scIndex maps a flag word to the sign-coding table index: bits 0..3
+// are the N,S,W,E significance bits, bits 4..7 the N,S,W,E sign bits.
+func scIndex(f uint32) uint32 { return (f >> 4 & 0x0F) | (f >> 8 & 0xF0) }
+
+// mrCtx is the magnitude-refinement context (Table D.4) straight off
+// the flag word: two bit tests instead of eight neighbor loads.
+func mrCtx(f uint32) int {
+	if f&fwRefined != 0 {
+		return ctxMR + 2
+	}
+	if f&fwSigNbr != 0 {
+		return ctxMR + 1
+	}
+	return ctxMR
+}
+
+// refZC is the reference zero-coding context (Table D.1) from explicit
+// horizontal/vertical/diagonal significance counts — the original
+// branchy implementation the LUTs are generated from and tested
+// against. h and v are the counts in the orientation's preferred roles
+// (already swapped for HL).
+func refZC(orient dwt.Orient, h, v, d int) int {
+	if orient == dwt.HH {
+		switch {
+		case d >= 3:
+			return 8
+		case d == 2:
+			if h+v >= 1 {
+				return 7
+			}
+			return 6
+		case d == 1:
+			switch {
+			case h+v >= 2:
+				return 5
+			case h+v == 1:
+				return 4
+			default:
+				return 3
+			}
+		default:
+			switch {
+			case h+v >= 2:
+				return 2
+			case h+v == 1:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	switch {
+	case h == 2:
+		return 8
+	case h == 1:
+		switch {
+		case v >= 1:
+			return 7
+		case d >= 1:
+			return 6
+		default:
+			return 5
+		}
+	default:
+		switch {
+		case v == 2:
+			return 4
+		case v == 1:
+			return 3
+		case d >= 2:
+			return 2
+		case d == 1:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// refSC is the reference sign-coding context and XOR bit (Table D.3)
+// from the clamped horizontal and vertical sign contributions.
+func refSC(h, v int) (ctx int, xor uint8) {
+	switch {
+	case h == 1:
+		switch v {
+		case 1:
+			return ctxSC + 4, 0
+		case 0:
+			return ctxSC + 3, 0
+		default:
+			return ctxSC + 2, 0
+		}
+	case h == 0:
+		switch v {
+		case 1:
+			return ctxSC + 1, 0
+		case 0:
+			return ctxSC, 0
+		default:
+			return ctxSC + 1, 1
+		}
+	default:
+		switch v {
+		case 1:
+			return ctxSC + 2, 1
+		case 0:
+			return ctxSC + 3, 1
+		default:
+			return ctxSC + 4, 1
+		}
+	}
+}
+
+func clampPM1(x int) int {
+	if x > 1 {
+		return 1
+	}
+	if x < -1 {
+		return -1
+	}
+	return x
+}
+
+// bit reports whether bit b of idx is set, as a 0/1 count.
+func bit(idx, b int) int { return (idx >> uint(b)) & 1 }
+
+func init() {
+	// Zero-coding: enumerate the 256 neighbor-significance patterns in
+	// flag-word bit order (N,S,W,E,NW,NE,SW,SE).
+	for idx := 0; idx < 256; idx++ {
+		hN, hS := bit(idx, 0), bit(idx, 1)
+		hW, hE := bit(idx, 2), bit(idx, 3)
+		d := bit(idx, 4) + bit(idx, 5) + bit(idx, 6) + bit(idx, 7)
+		h := hW + hE
+		v := hN + hS
+		lutZC[0][idx] = uint8(refZC(dwt.LL, h, v, d))
+		lutZC[1][idx] = uint8(refZC(dwt.LL, v, h, d)) // HL: swapped roles
+		lutZC[2][idx] = uint8(refZC(dwt.HH, h, v, d))
+	}
+	// Sign-coding: bits 0..3 significance of N,S,W,E; bits 4..7 their
+	// signs. A sign bit without its significance bit contributes 0,
+	// exactly like the old scContribution.
+	for idx := 0; idx < 256; idx++ {
+		contrib := func(sigBit, negBit int) int {
+			if bit(idx, sigBit) == 0 {
+				return 0
+			}
+			if bit(idx, negBit) != 0 {
+				return -1
+			}
+			return 1
+		}
+		h := clampPM1(contrib(2, 6) + contrib(3, 7)) // W + E
+		v := clampPM1(contrib(0, 4) + contrib(1, 5)) // N + S
+		ctx, xor := refSC(h, v)
+		lutSC[idx] = uint8(ctx-ctxSC) | xor<<3
+	}
+}

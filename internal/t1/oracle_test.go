@@ -1,0 +1,174 @@
+package t1
+
+import "j2kcell/internal/dwt"
+
+// The pre-PR context modeling, kept verbatim as a reference oracle: a
+// plain byte-flag array with no cached neighbor state, where every
+// context is recomputed from eight scattered neighbor loads (the
+// original Table D.1–D.4 implementation). The differential tests in
+// luts_test.go drive this oracle and the flag-word coder through the
+// same significance/refinement histories and assert every context
+// decision matches.
+
+const (
+	oSig     uint8 = 1 << 0
+	oVisit   uint8 = 1 << 1
+	oRefined uint8 = 1 << 2
+	oNeg     uint8 = 1 << 3
+)
+
+type oracleCoder struct {
+	w, h   int
+	orient dwt.Orient
+	flags  []uint8 // (w+2) x (h+2), row-major with border
+	fw     int
+}
+
+func newOracle(w, h int, orient dwt.Orient) *oracleCoder {
+	return &oracleCoder{
+		w: w, h: h, orient: orient,
+		flags: make([]uint8, (w+2)*(h+2)),
+		fw:    w + 2,
+	}
+}
+
+func (c *oracleCoder) fidx(x, y int) int { return (y+1)*c.fw + (x + 1) }
+
+// zcContext is the original zero-coding context computation (Table D.1).
+func (c *oracleCoder) zcContext(fi int) int {
+	f := c.flags
+	h := int(f[fi-1]&oSig) + int(f[fi+1]&oSig)
+	v := int(f[fi-c.fw]&oSig) + int(f[fi+c.fw]&oSig)
+	d := int(f[fi-c.fw-1]&oSig) + int(f[fi-c.fw+1]&oSig) +
+		int(f[fi+c.fw-1]&oSig) + int(f[fi+c.fw+1]&oSig)
+	if c.orient == dwt.HL {
+		h, v = v, h // HL band: swap the roles of H and V
+	}
+	if c.orient == dwt.HH {
+		switch {
+		case d >= 3:
+			return 8
+		case d == 2:
+			if h+v >= 1 {
+				return 7
+			}
+			return 6
+		case d == 1:
+			switch {
+			case h+v >= 2:
+				return 5
+			case h+v == 1:
+				return 4
+			default:
+				return 3
+			}
+		default:
+			switch {
+			case h+v >= 2:
+				return 2
+			case h+v == 1:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	switch {
+	case h == 2:
+		return 8
+	case h == 1:
+		switch {
+		case v >= 1:
+			return 7
+		case d >= 1:
+			return 6
+		default:
+			return 5
+		}
+	default:
+		switch {
+		case v == 2:
+			return 4
+		case v == 1:
+			return 3
+		case d >= 2:
+			return 2
+		case d == 1:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// scContribution is the original clamped sign contribution of one
+// neighbor.
+func (c *oracleCoder) scContribution(fi int) int {
+	f := c.flags[fi]
+	if f&oSig == 0 {
+		return 0
+	}
+	if f&oNeg != 0 {
+		return -1
+	}
+	return 1
+}
+
+// scContext is the original sign-coding context computation (Table D.3).
+func (c *oracleCoder) scContext(fi int) (ctx int, xor uint8) {
+	h := c.scContribution(fi-1) + c.scContribution(fi+1)
+	v := c.scContribution(fi-c.fw) + c.scContribution(fi+c.fw)
+	clamp := func(x int) int {
+		if x > 1 {
+			return 1
+		}
+		if x < -1 {
+			return -1
+		}
+		return x
+	}
+	h, v = clamp(h), clamp(v)
+	switch {
+	case h == 1:
+		switch v {
+		case 1:
+			return ctxSC + 4, 0
+		case 0:
+			return ctxSC + 3, 0
+		default:
+			return ctxSC + 2, 0
+		}
+	case h == 0:
+		switch v {
+		case 1:
+			return ctxSC + 1, 0
+		case 0:
+			return ctxSC, 0
+		default:
+			return ctxSC + 1, 1
+		}
+	default:
+		switch v {
+		case 1:
+			return ctxSC + 2, 1
+		case 0:
+			return ctxSC + 3, 1
+		default:
+			return ctxSC + 4, 1
+		}
+	}
+}
+
+// mrContext is the original magnitude-refinement context (Table D.4).
+func (c *oracleCoder) mrContext(fi int) int {
+	f := c.flags
+	if f[fi]&oRefined != 0 {
+		return ctxMR + 2
+	}
+	any := f[fi-1] | f[fi+1] | f[fi-c.fw] | f[fi+c.fw] |
+		f[fi-c.fw-1] | f[fi-c.fw+1] | f[fi+c.fw-1] | f[fi+c.fw+1]
+	if any&oSig != 0 {
+		return ctxMR + 1
+	}
+	return ctxMR
+}

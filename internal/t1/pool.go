@@ -2,12 +2,13 @@ package t1
 
 import "sync"
 
-// Scratch arenas for Tier-1. A 64×64 block costs ~21 KB of coder
-// scratch (bordered flags + magnitudes) and the MQ encoder's segment
-// buffer; a 3072×3072×3 encode codes ~7k blocks, so recycling this
-// state through sync.Pool keeps steady-state Tier-1 allocations limited
-// to the returned Block itself. Pools are safe for the concurrent block
-// workers of the parallel encode/decode pipelines.
+// Scratch arenas for Tier-1. A 64×64 block costs ~34 KB of coder
+// scratch (bordered flag words + magnitudes), ~1 KB of stripe OR masks,
+// and the MQ encoder's segment buffer; a 3072×3072×3 encode codes ~7k
+// blocks, so recycling this state through sync.Pool keeps steady-state
+// Tier-1 allocations limited to the returned Block itself. Pools are
+// safe for the concurrent block workers of the parallel encode/decode
+// pipelines.
 
 var (
 	coderPool   sync.Pool // *coder

@@ -4,6 +4,16 @@
 // per bit plane — significance propagation, magnitude refinement, and
 // cleanup — over a stripe-oriented scan with 19 adaptive MQ contexts.
 //
+// The hot path is built around incrementally maintained per-coefficient
+// flag words (luts.go): each coefficient's word caches the significance
+// and sign of its 8 neighbors, updated once when a neighbor becomes
+// significant, so the zero-coding and sign-coding contexts are single
+// table lookups and entire all-quiet stripe columns are skipped from
+// one OR over the column's words. The emitted bitstream is identical to
+// the original eight-load context computation — the flag words and LUTs
+// are a pure refactor of the Table D.1–D.4 functions, verified by the
+// differential tests against the pre-LUT reference (oracle_test.go).
+//
 // The encoder records, for every coding pass, its cumulative byte cost
 // and the weighted distortion reduction it buys; rate control (package
 // rate) selects truncation points from exactly these numbers, and the
@@ -111,27 +121,22 @@ const (
 // (state 3) and uniform (state 46).
 func newContexts() [nctx]mq.Context {
 	var cx [nctx]mq.Context
+	for i := range cx {
+		cx[i] = mq.NewContext(0)
+	}
 	cx[ctxZC] = mq.NewContext(4)
 	cx[ctxRL] = mq.NewContext(3)
 	cx[ctxUNI] = mq.NewContext(46)
 	return cx
 }
 
-// Flag bits per coefficient (stored with a one-pixel border so
-// neighborhood tests need no bounds checks).
-const (
-	fSig     uint8 = 1 << 0 // significant
-	fVisit   uint8 = 1 << 1 // coded in this plane's significance pass
-	fRefined uint8 = 1 << 2 // has been refined at least once
-	fNeg     uint8 = 1 << 3 // sign of the coefficient (set = negative)
-)
-
 // coder holds the shared geometry and state of an encode or decode.
 type coder struct {
 	w, h   int
 	orient dwt.Orient
-	flags  []uint8 // (w+2) x (h+2), row-major with border
-	fw     int     // flags row stride = w+2
+	zcTab  int      // lutZC table for orient
+	flags  []uint32 // (w+2) x (h+2) flag words, row-major with border
+	fw     int      // flags row stride = w+2
 	mag    []uint32
 	cx     [nctx]mq.Context
 }
@@ -145,9 +150,10 @@ func newCoder(w, h int, orient dwt.Orient) *coder {
 		c = &coder{}
 	}
 	c.w, c.h, c.orient = w, h, orient
+	c.zcTab = zcTabFor(orient)
 	c.fw = w + 2
 	if n := (w + 2) * (h + 2); cap(c.flags) < n {
-		c.flags = make([]uint8, n)
+		c.flags = make([]uint32, n)
 	} else {
 		c.flags = c.flags[:n]
 		clear(c.flags)
@@ -165,152 +171,21 @@ func newCoder(w, h int, orient dwt.Orient) *coder {
 // fidx maps block coordinates to the bordered flags array.
 func (c *coder) fidx(x, y int) int { return (y+1)*c.fw + (x + 1) }
 
-// zcContext computes the zero-coding context from the 3×3 significance
-// neighborhood, per Table D.1 (orientation-dependent).
+// zcContext computes the zero-coding context from the cached neighbor
+// significance bits of the flag word (Table D.1).
 func (c *coder) zcContext(fi int) int {
-	f := c.flags
-	h := int(f[fi-1]&fSig) + int(f[fi+1]&fSig)
-	v := int(f[fi-c.fw]&fSig) + int(f[fi+c.fw]&fSig)
-	d := int(f[fi-c.fw-1]&fSig) + int(f[fi-c.fw+1]&fSig) +
-		int(f[fi+c.fw-1]&fSig) + int(f[fi+c.fw+1]&fSig)
-	if c.orient == dwt.HL {
-		h, v = v, h // HL band: swap the roles of H and V
-	}
-	if c.orient == dwt.HH {
-		switch {
-		case d >= 3:
-			return 8
-		case d == 2:
-			if h+v >= 1 {
-				return 7
-			}
-			return 6
-		case d == 1:
-			switch {
-			case h+v >= 2:
-				return 5
-			case h+v == 1:
-				return 4
-			default:
-				return 3
-			}
-		default:
-			switch {
-			case h+v >= 2:
-				return 2
-			case h+v == 1:
-				return 1
-			default:
-				return 0
-			}
-		}
-	}
-	switch {
-	case h == 2:
-		return 8
-	case h == 1:
-		switch {
-		case v >= 1:
-			return 7
-		case d >= 1:
-			return 6
-		default:
-			return 5
-		}
-	default:
-		switch {
-		case v == 2:
-			return 4
-		case v == 1:
-			return 3
-		case d >= 2:
-			return 2
-		case d == 1:
-			return 1
-		default:
-			return 0
-		}
-	}
+	return int(lutZC[c.zcTab][c.flags[fi]>>4&0xFF])
 }
 
-// scContribution returns the clamped sign contribution (-1, 0, +1) of
-// the neighbor at flags index fi.
-func (c *coder) scContribution(fi int) int {
-	f := c.flags[fi]
-	if f&fSig == 0 {
-		return 0
-	}
-	if f&fNeg != 0 {
-		return -1
-	}
-	return 1
-}
-
-// scContext computes the sign-coding context and XOR bit (Table D.3).
+// scContext computes the sign-coding context and XOR bit (Table D.3)
+// from the cached neighbor significance and sign bits.
 func (c *coder) scContext(fi int) (ctx int, xor uint8) {
-	h := c.scContribution(fi-1) + c.scContribution(fi+1)
-	v := c.scContribution(fi-c.fw) + c.scContribution(fi+c.fw)
-	clamp := func(x int) int {
-		if x > 1 {
-			return 1
-		}
-		if x < -1 {
-			return -1
-		}
-		return x
-	}
-	h, v = clamp(h), clamp(v)
-	switch {
-	case h == 1:
-		switch v {
-		case 1:
-			return ctxSC + 4, 0
-		case 0:
-			return ctxSC + 3, 0
-		default:
-			return ctxSC + 2, 0
-		}
-	case h == 0:
-		switch v {
-		case 1:
-			return ctxSC + 1, 0
-		case 0:
-			return ctxSC, 0
-		default:
-			return ctxSC + 1, 1
-		}
-	default:
-		switch v {
-		case 1:
-			return ctxSC + 2, 1
-		case 0:
-			return ctxSC + 3, 1
-		default:
-			return ctxSC + 4, 1
-		}
-	}
+	v := lutSC[scIndex(c.flags[fi])]
+	return ctxSC + int(v&7), v >> 3
 }
 
 // mrContext computes the magnitude-refinement context (Table D.4).
-func (c *coder) mrContext(fi int) int {
-	f := c.flags
-	if f[fi]&fRefined != 0 {
-		return ctxMR + 2
-	}
-	any := f[fi-1] | f[fi+1] | f[fi-c.fw] | f[fi+c.fw] |
-		f[fi-c.fw-1] | f[fi-c.fw+1] | f[fi+c.fw-1] | f[fi+c.fw+1]
-	if any&fSig != 0 {
-		return ctxMR + 1
-	}
-	return ctxMR
-}
-
-// clearVisit resets the per-plane visit flags.
-func (c *coder) clearVisit() {
-	for i := range c.flags {
-		c.flags[i] &^= fVisit
-	}
-}
+func (c *coder) mrContext(fi int) int { return mrCtx(c.flags[fi]) }
 
 // bitLen returns the position of the highest set bit + 1.
 func bitLen(v uint32) int {
