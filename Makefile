@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check
+.PHONY: build test race vet bench bench-json trace check
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,19 @@ bench:
 # bench-json reruns the hot-path benchmarks (Tier-1, rate control,
 # end-to-end encode) and merges them with the committed pre-PR baseline
 # into one JSON artifact with per-benchmark speedup ratios.
-BENCH_JSON ?= BENCH_pr2.json
-BENCH_BASELINE ?= bench/baseline_pr1.txt
+BENCH_JSON ?= BENCH_pr3.json
+BENCH_BASELINE ?= bench/baseline_pr2.txt
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ > bench/current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEncode' -benchmem . >> bench/current.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
+
+# trace produces sample Chrome traces (open in chrome://tracing or
+# ui.perfetto.dev): the native encoder with one track per worker, and
+# the simulated Cell with one track per modeled PE.
+trace:
+	mkdir -p examples
+	$(GO) run ./cmd/j2kenc -dial 512 -workers 4 -out examples/dial.j2c -trace examples/trace-native.json -report
+	$(GO) run ./cmd/cellbench -scale 8 -trace examples/trace-sim.json
 
 check: build vet test race

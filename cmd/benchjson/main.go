@@ -146,6 +146,30 @@ func speedups(base, cur *Run) []Speedup {
 	return out
 }
 
+// loadSets parses every label=path argument. A path that does not
+// exist is tolerated with a warning — fresh checkouts have no recorded
+// baseline yet, so the report simply omits that set (and with it the
+// speedup comparison); any other parse failure is fatal.
+func loadSets(args []string) (map[string]*Run, error) {
+	sets := map[string]*Run{}
+	for _, arg := range args {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			label, path = "current", arg
+		}
+		run, err := parseRun(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "benchjson: warning: %s: %v (set %q omitted)\n", path, err, label)
+				continue
+			}
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		sets[label] = run
+	}
+	return sets, nil
+}
+
 func main() {
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
@@ -153,19 +177,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] label=benchfile ...")
 		os.Exit(2)
 	}
-	rep := Report{Sets: map[string]*Run{}}
-	for _, arg := range flag.Args() {
-		label, path, ok := strings.Cut(arg, "=")
-		if !ok {
-			label, path = "current", arg
-		}
-		run, err := parseRun(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		rep.Sets[label] = run
+	sets, err := loadSets(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
+	rep := Report{Sets: sets}
 	if base, cur := rep.Sets["baseline"], rep.Sets["current"]; base != nil && cur != nil {
 		rep.Speedups = speedups(base, cur)
 	}

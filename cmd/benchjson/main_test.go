@@ -45,6 +45,30 @@ func TestParseRun(t *testing.T) {
 	}
 }
 
+func TestLoadSetsToleratesMissingBaseline(t *testing.T) {
+	cur := writeSample(t, sample)
+	sets, err := loadSets([]string{
+		"baseline=" + filepath.Join(t.TempDir(), "no-such-baseline.txt"),
+		"current=" + cur,
+	})
+	if err != nil {
+		t.Fatalf("missing baseline should not be fatal: %v", err)
+	}
+	if _, ok := sets["baseline"]; ok {
+		t.Fatal("missing baseline produced a set")
+	}
+	if run, ok := sets["current"]; !ok || len(run.Benchmarks) != 1 {
+		t.Fatalf("current set not parsed: %+v", sets["current"])
+	}
+}
+
+func TestLoadSetsStillFailsOnUnreadableFile(t *testing.T) {
+	dir := t.TempDir() // a directory, not a file: Open succeeds, read fails
+	if _, err := loadSets([]string{"current=" + dir}); err == nil {
+		t.Fatal("unreadable input should be fatal")
+	}
+}
+
 func TestSpeedupsPairAcrossGomaxprocsSuffix(t *testing.T) {
 	base := &Run{Benchmarks: []Benchmark{
 		{Pkg: "p", Name: "BenchmarkX-2", NsPerOp: 300},

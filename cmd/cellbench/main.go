@@ -2,11 +2,17 @@
 // figures from the simulated Cell/B.E. Run with -scale 1 for the
 // paper's full 3072x3072 workload (slow), or a larger divisor for a
 // quick shape check; the modeled ratios are size-stable.
+//
+// -trace writes the traced 8-SPE profile run as Chrome trace JSON
+// (one track per modeled PE); -pprof serves net/http/pprof while the
+// experiments run, for profiling the simulator itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -16,9 +22,49 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|fig8|fig9|ablate|loop|profile|calib|all")
 	scale := flag.Int("scale", 4, "divide the paper's workload dimensions by this factor")
+	traceOut := flag.String("trace", "", "write the traced 8-SPE profile run as Chrome trace JSON to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while experiments run")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "cellbench: pprof server:", err)
+			}
+		}()
+	}
+
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
+
 	p := harness.DefaultParams(*scale)
+	if *traceOut != "" {
+		res, err := harness.TracedRun(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cellbench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = harness.WriteSimTrace(f, res)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cellbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, len(res.Trace.Spans))
+		if !expSet {
+			return // -trace alone: skip the (slow) default experiment sweep
+		}
+	}
 	run := func(tables ...*harness.Table) {
 		for _, t := range tables {
 			fmt.Println(t.String())

@@ -3,11 +3,20 @@
 // waltham_dial.bmp). BMP, PGM and PPM inputs are detected by
 // extension; with -dial it generates the synthetic dial workload
 // instead of reading a file.
+//
+// Observability (see DESIGN.md §6): -report prints the per-stage
+// wall/busy breakdown with the measured Amdahl serial fraction,
+// -trace writes a chrome://tracing timeline with one track per
+// worker, -metrics dumps the counter set (queue claims, MQ renorm
+// chunks, DWT bytes moved, pool hit rates), and -pprof serves
+// net/http/pprof plus /debug/vars and /metrics while encoding.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,6 +25,7 @@ import (
 
 	"j2kcell"
 	"j2kcell/internal/bmp"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/pnm"
 )
 
@@ -28,6 +38,10 @@ func main() {
 	levels := flag.Int("levels", 5, "DWT decomposition levels")
 	cb := flag.Int("cb", 64, "code block size (16, 32 or 64)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "Tier-1 worker goroutines (1 = sequential)")
+	traceOut := flag.String("trace", "", "write a Chrome trace JSON timeline to this file")
+	report := flag.Bool("report", false, "print the per-stage wall-time / serial-fraction table")
+	metrics := flag.Bool("metrics", false, "print the counter and histogram table after encoding")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 
 	var img *j2kcell.Image
@@ -56,6 +70,23 @@ func main() {
 		opt.Rate = *rate
 	}
 
+	observe := *traceOut != "" || *report || *metrics || *pprofAddr != ""
+	var rec *obs.Recorder
+	if observe {
+		rec = obs.Enable()
+	}
+	if *pprofAddr != "" {
+		obs.PublishExpvar()
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, obs.Active().MetricsTable())
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "j2kenc: pprof server:", err)
+			}
+		}()
+	}
+
 	start := time.Now()
 	data, stats, err := j2kcell.EncodeParallel(img, opt, *workers)
 	check(err)
@@ -70,6 +101,22 @@ func main() {
 		img.W, img.H, len(img.Comps), *out, len(data),
 		float64(raw)/float64(len(data)), elapsed.Round(time.Millisecond),
 		stats.Blocks, stats.TotalPasses)
+
+	if rec != nil {
+		rec.Close()
+		spans := rec.TSpans()
+		if *report {
+			fmt.Print(obs.BuildReport(spans, *workers).Table())
+		}
+		if *metrics {
+			fmt.Print(rec.MetricsTable())
+		}
+		if *traceOut != "" {
+			check(obs.WriteChromeTraceFile(*traceOut, spans, rec.Counters()))
+			fmt.Printf("trace: %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+				*traceOut, len(spans))
+		}
+	}
 }
 
 func check(err error) {

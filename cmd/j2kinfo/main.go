@@ -14,6 +14,7 @@ import (
 func main() {
 	in := flag.String("in", "", "input .j2c codestream")
 	packets := flag.Bool("packets", false, "list every packet")
+	stats := flag.Bool("stats", false, "per-subband and per-layer byte breakdown, marker segment sizes")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "j2kinfo: need -in file.j2c")
@@ -49,11 +50,59 @@ func main() {
 			fmt.Printf("  layers < %d: %8d bytes\n", l+0, info.BytesAtLayer(l))
 		}
 	}
+	if *stats {
+		printStats(info, len(data))
+	}
 	if *packets {
 		fmt.Println("\npackets (layer, resolution, component):")
 		for _, p := range info.Packets {
 			fmt.Printf("  L%d R%d C%d  @%-8d %6d bytes, %3d blocks\n",
 				p.Layer, p.Res, p.Comp, p.Offset, p.Bytes, p.Blocks)
+		}
+	}
+}
+
+// printStats renders the -stats breakdown: where the bytes of the
+// stream live — framing markers, Tier-2 packet headers, and MQ-coded
+// block data split by subband and by quality layer.
+func printStats(info *codec.StreamInfo, total int) {
+	h := info.Header
+	fmt.Println("marker segments:")
+	markerTotal := 0
+	for _, m := range info.Markers {
+		fmt.Printf("  %-4s @%-8d %6d bytes\n", m.Name, m.Offset, m.Len)
+		markerTotal += m.Len
+	}
+	fmt.Printf("  framing total %d bytes, packet headers %d bytes\n",
+		markerTotal, info.HeaderOverhead())
+
+	fmt.Println("block data by subband (component / band):")
+	dataTotal := 0
+	for _, b := range info.Bands {
+		if b.Bytes == 0 && b.Blocks == 0 {
+			continue
+		}
+		fmt.Printf("  C%d %2s L%d (%4dx%-4d) %8d bytes  %4d block contribution(s)\n",
+			b.Comp, b.Band.Orient, b.Band.Level, b.Band.W, b.Band.H, b.Bytes, b.Blocks)
+		dataTotal += b.Bytes
+	}
+	fmt.Printf("  block data total %d bytes (%.1f%% of stream)\n",
+		dataTotal, 100*float64(dataTotal)/float64(total))
+
+	fmt.Println("packet bytes by resolution:")
+	prev := 0
+	for r := 0; r <= h.Levels; r++ {
+		at := info.BytesAtResolution(r)
+		fmt.Printf("  res %d: %8d bytes\n", r, at-prev)
+		prev = at
+	}
+	if h.Layers > 1 {
+		fmt.Println("packet bytes by layer:")
+		lprev := 0
+		for l := 1; l <= h.Layers; l++ {
+			at := info.BytesAtLayer(l)
+			fmt.Printf("  layer %d: %8d bytes\n", l-1, at-lprev)
+			lprev = at
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"j2kcell/internal/obs"
 	"j2kcell/internal/sim"
 )
 
@@ -418,13 +419,14 @@ func TestTraceRecordsSpans(t *testing.T) {
 	if s0.PE != "spe0" || s0.Phase != "alpha" || s0.Start != 0 || s0.End != 150 {
 		t.Fatalf("merged span: %+v", s0)
 	}
-	if got := m.Trace.BusyInWindow("spe0", 0, 1000); got != 175 {
+	spans := m.Trace.TSpans()
+	if got := obs.BusyInWindow(spans, "spe0", 0, 1000); got != 175 {
 		t.Fatalf("busy %d, want 175", got)
 	}
-	if got := m.Trace.BusyInWindow("spe0", 100, 160); got != 50 {
+	if got := obs.BusyInWindow(spans, "spe0", 100, 160); got != 50 {
 		t.Fatalf("windowed busy %d, want 50", got)
 	}
-	if got := m.Trace.BusyInWindow("ppe0", 0, 1000); got != 30 {
+	if got := obs.BusyInWindow(spans, "ppe0", 0, 1000); got != 30 {
 		t.Fatalf("ppe busy %d", got)
 	}
 }

@@ -1,6 +1,9 @@
 package cell
 
-import "j2kcell/internal/sim"
+import (
+	"j2kcell/internal/obs"
+	"j2kcell/internal/sim"
+)
 
 // Span is one contiguous busy interval of a processing element.
 type Span struct {
@@ -46,21 +49,32 @@ func (t *Trace) add(pe string, start, end sim.Time) {
 	t.Spans = append(t.Spans, Span{PE: pe, Phase: t.phase, Start: start, End: end})
 }
 
-// BusyInWindow sums the busy time of pe within [a, b).
-func (t *Trace) BusyInWindow(pe string, a, b sim.Time) sim.Time {
-	var busy sim.Time
-	for _, s := range t.Spans {
-		if s.PE != pe || s.End <= a || s.Start >= b {
-			continue
-		}
-		lo, hi := s.Start, s.End
-		if lo < a {
-			lo = a
-		}
-		if hi > b {
-			hi = b
-		}
-		busy += hi - lo
+// TSpans converts the trace to the shared timeline span type: one
+// track per PE, spans named by phase, timestamps in model cycles.
+// Busy-window math (obs.BusyInWindow) and the harness renderer are
+// unit-agnostic; scale by 1e9/ClockHz for wall-clock exports
+// (see TSpansNS).
+func (t *Trace) TSpans() []obs.TSpan {
+	if t == nil {
+		return nil
 	}
-	return busy
+	out := make([]obs.TSpan, len(t.Spans))
+	for i, s := range t.Spans {
+		out[i] = obs.TSpan{
+			Track: s.PE, Name: s.Phase, Stage: obs.StageExtern,
+			Start: int64(s.Start), End: int64(s.End),
+		}
+	}
+	return out
+}
+
+// TSpansNS converts the trace with cycle timestamps rescaled to
+// modeled nanoseconds — the unit the Chrome exporter expects.
+func (t *Trace) TSpansNS() []obs.TSpan {
+	out := t.TSpans()
+	for i := range out {
+		out[i].Start = int64(Seconds(sim.Time(out[i].Start)) * 1e9)
+		out[i].End = int64(Seconds(sim.Time(out[i].End)) * 1e9)
+	}
+	return out
 }

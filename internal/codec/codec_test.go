@@ -519,6 +519,34 @@ func TestInspectStructure(t *testing.T) {
 	if info.BytesAtLayer(1) >= info.BytesAtLayer(2) {
 		t.Fatal("layer prefixes not increasing")
 	}
+	// Band stats: the per-subband data bytes plus the per-packet header
+	// overhead must tile the body exactly.
+	bandTotal := 0
+	for _, b := range info.Bands {
+		if b.Bytes < 0 {
+			t.Fatalf("negative band bytes: %+v", b)
+		}
+		bandTotal += b.Bytes
+	}
+	if len(info.Bands) != h.NComp*(3*h.Levels+1) {
+		t.Fatalf("bands %d, want %d", len(info.Bands), h.NComp*(3*h.Levels+1))
+	}
+	if bandTotal+info.HeaderOverhead() != total {
+		t.Fatalf("bands %d + headers %d != body %d",
+			bandTotal, info.HeaderOverhead(), total)
+	}
+	// Marker walk: starts SOC, ends EOC, and the framing total matches
+	// the non-body bytes of the stream.
+	if info.Markers[0].Name != "SOC" || info.Markers[len(info.Markers)-1].Name != "EOC" {
+		t.Fatalf("marker walk: %+v", info.Markers)
+	}
+	framing := 0
+	for _, m := range info.Markers {
+		framing += m.Len
+	}
+	if framing != len(res.Data)-res.Stats.BodyBytes {
+		t.Fatalf("framing %d, want %d", framing, len(res.Data)-res.Stats.BodyBytes)
+	}
 }
 
 func TestTileGrid(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"j2kcell/internal/imgmodel"
 	"j2kcell/internal/jp2"
 	"j2kcell/internal/mct"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/quant"
 	"j2kcell/internal/t1"
 	"j2kcell/internal/t2"
@@ -284,7 +285,7 @@ func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOption
 	// Every block writes a disjoint plane region, so Tier-1 decoding
 	// drains the same atomic work queue as the encode pipeline.
 	errs := make([]error, len(tasks))
-	NewPipeline(dopt.Workers).run(len(tasks), func(i int) {
+	NewPipeline(dopt.Workers).run(obs.StageT1, 0, len(tasks), func(i int) {
 		errs[i] = decodeOne(tasks[i])
 	})
 	for _, err := range errs {

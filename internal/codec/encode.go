@@ -4,6 +4,7 @@ import (
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/rate"
 	"j2kcell/internal/t1"
 	"j2kcell/internal/t2"
@@ -61,8 +62,16 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 	ncomp := len(img.Comps)
 	mode := opt.Mode()
 
+	// The finish stages — PCRD rate control, Tier-2 assembly, framing —
+	// run on this coordinator lane; in the Amdahl report they are the
+	// sequential tail the paper measures in Table 2.
+	ln := obs.Acquire()
+	defer ln.Release()
+
 	build := func(keeps [][]int) ([]byte, []byte) {
+		sp := ln.Begin(obs.StageT2, 0, 0)
 		body, mb := AssemblePackets(w, h, ncomp, opt, jobs, blocks, keeps, nil)
+		sp.End()
 		head := &codestream.Header{
 			W: w, H: h, NComp: ncomp, Depth: img.Depth,
 			Levels: opt.Levels, CBW: opt.CBW, CBH: opt.CBH,
@@ -71,7 +80,10 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
 			TermAll: mode == t1.ModeTermAll, BaseDelta: opt.BaseDelta, Mb: mb,
 		}
-		return codestream.Encode(head, body), body
+		sp = ln.Begin(obs.StageFrame, 0, 0)
+		data := codestream.Encode(head, body)
+		sp.End()
+		return data, body
 	}
 
 	rates := opt.layerRates()
@@ -79,20 +91,28 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 	constrained := !opt.Lossless && rates != nil
 	if constrained {
 		if rd == nil {
+			sp := ln.Begin(obs.StageHull, 0, 0)
 			rd = BuildLadders(blocks)
+			sp.End()
 		}
 		// The ladders (and their cached hulls) persist across the
 		// overhead-retry loop, so hulls are computed at most once per
 		// block per encode.
+		sp := ln.Begin(obs.StageRate, 0, 0)
 		keeps = allocateLayersRD(rd, img, opt, rates, 0, workers)
+		sp.End()
 	}
 	data, body := build(keeps)
 	if constrained {
 		// Header sizes are only known after assembly; if the initial
 		// overhead estimate was short, shave the body budget and retry.
 		target := int(rates[len(rates)-1] * float64(w*h*ncomp*img.Depth/8))
+		retry := int32(1)
 		for extra := 16; len(data) > target && extra < target; extra *= 2 {
+			sp := ln.Begin(obs.StageRate, 0, retry)
 			keeps = allocateLayersRD(rd, img, opt, rates, len(data)-target+extra, workers)
+			sp.End()
+			retry++
 			data, body = build(keeps)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/imgmodel"
 	"j2kcell/internal/mct"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/quant"
 	"j2kcell/internal/rate"
 	"j2kcell/internal/t1"
@@ -60,18 +61,31 @@ const stripeRows = 64
 // claimed by up to p.workers goroutines — the paper's load-balancing
 // work queue, with the atomic increment standing in for the MFC atomic
 // unit. With a single worker (or a single job) it runs inline.
-func (p *Pipeline) run(n int, fn func(i int)) {
+//
+// Every job is bracketed by an observability span (stage st, stage
+// argument arg — e.g. the DWT level — and the job index) on the claiming
+// worker's lane, and each claim is counted per lane; with observability
+// disabled the extra work per job is a nil check.
+func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	rec := obs.Active()
+	rec.Add(obs.CtrQueueRuns, 1)
+	rec.Add(obs.CtrQueueJobs, int64(n))
 	nw := p.workers
 	if nw > n {
 		nw = n
 	}
 	if nw <= 1 {
+		ln := rec.Acquire()
 		for i := 0; i < n; i++ {
+			ln.Claim()
+			sp := ln.Begin(st, arg, int32(i))
 			fn(i)
+			sp.End()
 		}
+		ln.Release()
 		return
 	}
 	var next atomic.Int64
@@ -80,12 +94,17 @@ func (p *Pipeline) run(n int, fn func(i int)) {
 	for w := 0; w < nw; w++ {
 		go func() {
 			defer wg.Done()
+			ln := rec.Acquire()
+			defer ln.Release()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				ln.Claim()
+				sp := ln.Begin(st, arg, int32(i))
 				fn(i)
+				sp.End()
 			}
 		}()
 	}
@@ -103,9 +122,11 @@ var (
 func getI32(n int) *[]int32 {
 	p, _ := i32Pool.Get().(*[]int32)
 	if p == nil {
+		obs.Count(obs.CtrPoolScratchMiss)
 		s := make([]int32, n)
 		return &s
 	}
+	obs.Count(obs.CtrPoolScratchHit)
 	if cap(*p) < n {
 		*p = make([]int32, n)
 	} else {
@@ -119,9 +140,11 @@ func putI32(p *[]int32) { i32Pool.Put(p) }
 func getF32(n int) *[]float32 {
 	p, _ := f32Pool.Get().(*[]float32)
 	if p == nil {
+		obs.Count(obs.CtrPoolScratchMiss)
 		s := make([]float32, n)
 		return &s
 	}
+	obs.Count(obs.CtrPoolScratchHit)
 	if cap(*p) < n {
 		*p = make([]float32, n)
 	} else {
@@ -157,7 +180,7 @@ func (p *Pipeline) MCTInt(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
 		planes[c] = imgmodel.GetPlane(w, h)
 	}
 	useMCT := len(planes) == 3
-	p.run(stripes(h), func(s int) {
+	p.run(obs.StageMCT, 0, stripes(h), func(s int) {
 		y0, y1 := stripeBounds(s, h)
 		for c, pl := range planes {
 			src := img.Comps[c]
@@ -185,7 +208,7 @@ func (p *Pipeline) MCTFloat(img *imgmodel.Image, opt Options) []*imgmodel.FPlane
 		fplanes[c] = imgmodel.GetFPlane(w, h)
 	}
 	useMCT := len(fplanes) == 3
-	p.run(stripes(h), func(s int) {
+	p.run(obs.StageMCT, 0, stripes(h), func(s int) {
 		y0, y1 := stripeBounds(s, h)
 		if useMCT {
 			mct.ForwardICTRows(
@@ -236,24 +259,27 @@ func (p *Pipeline) levelPlan(w, h, levels int) []dwtLevel {
 // Bit-identical to dwt.Forward53 on each plane.
 func (p *Pipeline) DWT53(planes []*imgmodel.Plane, opt Options) {
 	w, h := planes[0].W, planes[0].H
-	for _, lv := range p.levelPlan(w, h, opt.Levels) {
+	rec := obs.Active()
+	for li, lv := range p.levelPlan(w, h, opt.Levels) {
 		if lv.lh > 1 {
 			nc := len(lv.chunks)
-			p.run(nc*len(planes), func(i int) {
+			p.run(obs.StageDWTVert, int32(li), nc*len(planes), func(i int) {
 				pl, ch := planes[i/nc], lv.chunks[i%nc]
 				aux := getI32(dwt.AuxLen(ch.W, lv.lh))
 				dwt.Vertical53Stripe(pl.Data, ch.X0, ch.W, lv.lh, pl.Stride, *aux)
 				putI32(aux)
+				rec.Add(obs.CtrDWTBytesMoved, int64(ch.W)*int64(lv.lh)*8)
 			})
 		}
 		if lv.lw > 1 {
 			ns := stripes(lv.lh)
-			p.run(ns*len(planes), func(i int) {
+			p.run(obs.StageDWTHorz, int32(li), ns*len(planes), func(i int) {
 				pl := planes[i/ns]
 				y0, y1 := stripeBounds(i%ns, lv.lh)
 				tmp := getI32(lv.lw)
 				dwt.Horizontal53Rows(pl.Data, lv.lw, pl.Stride, y0, y1, *tmp)
 				putI32(tmp)
+				rec.Add(obs.CtrDWTBytesMoved, int64(y1-y0)*int64(lv.lw)*8)
 			})
 		}
 	}
@@ -263,24 +289,27 @@ func (p *Pipeline) DWT53(planes []*imgmodel.Plane, opt Options) {
 // dwt.Forward97 on each plane.
 func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 	w, h := fplanes[0].W, fplanes[0].H
-	for _, lv := range p.levelPlan(w, h, opt.Levels) {
+	rec := obs.Active()
+	for li, lv := range p.levelPlan(w, h, opt.Levels) {
 		if lv.lh > 1 {
 			nc := len(lv.chunks)
-			p.run(nc*len(fplanes), func(i int) {
+			p.run(obs.StageDWTVert, int32(li), nc*len(fplanes), func(i int) {
 				pl, ch := fplanes[i/nc], lv.chunks[i%nc]
 				aux := getF32(dwt.AuxLen(ch.W, lv.lh))
 				dwt.Vertical97Stripe(pl.Data, ch.X0, ch.W, lv.lh, pl.Stride, *aux)
 				putF32(aux)
+				rec.Add(obs.CtrDWTBytesMoved, int64(ch.W)*int64(lv.lh)*8)
 			})
 		}
 		if lv.lw > 1 {
 			ns := stripes(lv.lh)
-			p.run(ns*len(fplanes), func(i int) {
+			p.run(obs.StageDWTHorz, int32(li), ns*len(fplanes), func(i int) {
 				pl := fplanes[i/ns]
 				y0, y1 := stripeBounds(i%ns, lv.lh)
 				tmp := getF32(lv.lw)
 				dwt.Horizontal97Rows(pl.Data, lv.lw, pl.Stride, y0, y1, *tmp)
 				putF32(tmp)
+				rec.Add(obs.CtrDWTBytesMoved, int64(y1-y0)*int64(lv.lw)*8)
 			})
 		}
 	}
@@ -293,7 +322,7 @@ func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 // sequential rate-control tail.
 func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.Mode, rd []rate.BlockRD) []*t1.Block {
 	blocks := make([]*t1.Block, len(jobs))
-	p.run(len(jobs), func(i int) {
+	p.run(obs.StageT1, 0, len(jobs), func(i int) {
 		j := jobs[i]
 		pl := planes[j.Comp]
 		blocks[i] = t1.Encode(pl.Data[j.Y0*pl.Stride+j.X0:], j.W, j.H, pl.Stride,
@@ -316,7 +345,7 @@ func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.M
 func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt Options, rd []rate.BlockRD) []*t1.Block {
 	mode := opt.Mode()
 	blocks := make([]*t1.Block, len(jobs))
-	p.run(len(jobs), func(i int) {
+	p.run(obs.StageT1, 0, len(jobs), func(i int) {
 		j := jobs[i]
 		fp := fplanes[j.Comp]
 		delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, j.Band.Orient, j.Band.Level))
@@ -345,7 +374,7 @@ func (p *Pipeline) QuantizePlanes(fplanes []*imgmodel.FPlane, opt Options) []*im
 	}
 	// One job per (component, band); the subbands tile the plane, so
 	// every live sample is written.
-	p.run(len(planes)*len(bands), func(i int) {
+	p.run(obs.StageQuant, 0, len(planes)*len(bands), func(i int) {
 		c, b := i/len(bands), bands[i%len(bands)]
 		if b.W == 0 || b.H == 0 {
 			return
@@ -363,6 +392,18 @@ func (p *Pipeline) QuantizePlanes(fplanes []*imgmodel.FPlane, opt Options) []*im
 // quantization, Tier-1 — spread across `workers` goroutines, then the
 // shared sequential Finish (rate control, Tier-2, framing). The output
 // is byte-identical to Encode for every worker count. Tiled streams
+// warmGains precomputes the synthesis-gain table the encode will need
+// on the coordinator goroutine. Left lazy, the measurement fires under
+// gainMu inside whichever worker touches it first, stalling the whole
+// pool for its duration — a serialization the stage report surfaced.
+func warmGains(opt Options) {
+	if opt.Lossless {
+		dwt.WarmGains(dwt.W53, opt.Levels)
+	} else {
+		dwt.WarmGains(dwt.W97, opt.Levels)
+	}
+}
+
 // parallelize across tiles instead (EncodeTiled).
 func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, error) {
 	if err := validateImage(img); err != nil {
@@ -376,6 +417,12 @@ func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, err
 	}
 	opt = opt.WithDefaults(img.W, img.H)
 	p := NewPipeline(workers)
+	// Whole-encode envelope span on a coordinator lane: it defines the
+	// Amdahl report's total window (and pins lane 0, so worker lanes
+	// stay stable across stages).
+	ln := obs.Acquire()
+	total := ln.Begin(obs.StageEncode, 0, 0)
+	warmGains(opt)
 	_, jobs := PlanBlocks(img.W, img.H, len(img.Comps), opt)
 	// Rate-constrained encodes build each block's R-D ladder and convex
 	// hull inside its Tier-1 job, leaving only the λ search sequential
@@ -400,5 +447,8 @@ func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, err
 			imgmodel.PutFPlane(fp)
 		}
 	}
-	return FinishRD(img, opt, jobs, blocks, rd, p.workers), nil
+	res := FinishRD(img, opt, jobs, blocks, rd, p.workers)
+	total.End()
+	ln.Release()
+	return res, nil
 }

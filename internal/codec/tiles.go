@@ -5,6 +5,7 @@ import (
 
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/rate"
 	"j2kcell/internal/t1"
 )
@@ -62,12 +63,18 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	grid := TileGrid(img.W, img.H, opt.TileW, opt.TileH)
 	tiles := make([]*tileCoded, len(grid))
 
+	// Whole-encode envelope span (coordinator lane), as in
+	// EncodeParallel; the same lane carries the sequential finish spans.
+	ln := obs.Acquire()
+	total := ln.Begin(obs.StageEncode, 0, 0)
+	warmGains(opt)
+
 	// Transform and Tier-1 code every tile through the shared work
 	// queue (tiles are fully independent), recycling each tile's
 	// coefficient planes once its blocks are coded. Rate-constrained
 	// encodes also build each block's R-D ladder and convex hull here,
 	// inside the parallel stage.
-	NewPipeline(workers).run(len(grid), func(i int) {
+	NewPipeline(workers).run(obs.StageTile, 0, len(grid), func(i int) {
 		r := grid[i]
 		sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
 		planes := ForwardTransform(sub, opt)
@@ -77,6 +84,12 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 		if constrained {
 			rd = make([]rate.BlockRD, len(jobs))
 		}
+		// The tile job is an envelope span; the Tier-1 block loop gets
+		// its own lane and span so the per-stage breakdown still sees
+		// tiled Tier-1 time (the transform stages are covered by the
+		// inner pipeline's own spans inside ForwardTransform).
+		tln := obs.Acquire()
+		sp := tln.Begin(obs.StageT1, 0, int32(i))
 		for bi, j := range jobs {
 			p := planes[j.Comp]
 			blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
@@ -86,6 +99,8 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 				rd[bi].ComputeHull()
 			}
 		}
+		sp.End()
+		tln.Release()
 		for _, p := range planes {
 			imgmodel.PutPlane(p)
 		}
@@ -108,6 +123,7 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	}
 	bounds = append(bounds, len(allBlocks))
 	build := func(keeps [][]int) ([]byte, int) {
+		sp := ln.Begin(obs.StageT2, 0, 0)
 		bodies := make([][]byte, len(tiles))
 		bodyTotal := 0
 		for i, t := range tiles {
@@ -128,18 +144,28 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
 			TermAll: mode == t1.ModeTermAll, BaseDelta: opt.BaseDelta, Mb: mb,
 		}
-		return codestream.EncodeTiles(head, bodies), bodyTotal
+		sp.End()
+		sp = ln.Begin(obs.StageFrame, 0, 0)
+		data := codestream.EncodeTiles(head, bodies)
+		sp.End()
+		return data, bodyTotal
 	}
 
 	keeps := [][]int{FullKeep(allBlocks)}
 	if constrained {
+		sp := ln.Begin(obs.StageRate, 0, 0)
 		keeps = allocateLayersRD(allRD, img, opt, rates, 0, workers)
+		sp.End()
 	}
 	data, bodyTotal := build(keeps)
 	if constrained {
 		target := int(rates[len(rates)-1] * float64(img.W*img.H*ncomp*img.Depth/8))
+		retry := int32(1)
 		for extra := 16; len(data) > target && extra < target; extra *= 2 {
+			sp := ln.Begin(obs.StageRate, 0, retry)
 			keeps = allocateLayersRD(allRD, img, opt, rates, len(data)-target+extra, workers)
+			sp.End()
+			retry++
 			data, bodyTotal = build(keeps)
 		}
 	}
@@ -147,6 +173,8 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	keep := keeps[len(keeps)-1]
 	res := &Result{Data: data, Jobs: allJobs, Blocks: allBlocks, Keep: keep, LayerKeep: keeps}
 	res.Stats = buildStats(img, allJobs, allBlocks, keep, len(data)-bodyTotal, bodyTotal)
+	total.End()
+	ln.Release()
 	return res, nil
 }
 

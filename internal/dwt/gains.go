@@ -3,6 +3,8 @@ package dwt
 import (
 	"math"
 	"sync"
+
+	"j2kcell/internal/obs"
 )
 
 // Subband synthesis L2 gains. Rate control weighs the distortion
@@ -33,6 +35,13 @@ var (
 	gainCache = map[gainKey]map[Orient][]float64{}
 )
 
+// WarmGains precomputes the gain table for one filter/level pair. The
+// parallel encoders call it from the coordinator before launching
+// workers: the lazy first touch otherwise lands inside one worker's
+// Tier-1 span and serializes every other worker on gainMu for the
+// hundreds of ms the numeric measurement takes.
+func WarmGains(f Filter, levels int) { BandGain(f, levels, LL, levels) }
+
 // BandGain returns the synthesis L2 norm for a subband of the given
 // orientation at the given level under `levels` total decompositions.
 // For orientation LL only level == levels is meaningful.
@@ -42,7 +51,15 @@ func BandGain(f Filter, levels int, o Orient, level int) float64 {
 	key := gainKey{f, levels}
 	g, ok := gainCache[key]
 	if !ok {
+		// Cache miss: the numeric norm measurement runs 16 inverse
+		// transforms over a (32<<levels)² plane — hundreds of ms of
+		// one-time serial work, worth its own span so first-encode
+		// reports attribute it instead of showing anonymous serial time.
+		ln := obs.Acquire()
+		sp := ln.Begin(obs.StageCalib, int32(levels), int32(f))
 		g = computeGains(f, levels)
+		sp.End()
+		ln.Release()
 		gainCache[key] = g
 	}
 	return g[o][level]

@@ -2,11 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"j2kcell/internal/cell"
 	"j2kcell/internal/codec"
 	"j2kcell/internal/core"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/sim"
 )
 
@@ -24,6 +26,7 @@ func RenderTimeline(res *core.Result, cols int) string {
 	shades := []rune{'·', '░', '▒', '▓', '█'}
 	var b strings.Builder
 	total := res.Cycles
+	spans := res.Trace.TSpans()
 	lane := func(pe string) {
 		fmt.Fprintf(&b, "%-6s ", pe)
 		for c := 0; c < cols; c++ {
@@ -32,7 +35,7 @@ func RenderTimeline(res *core.Result, cols int) string {
 			if z == a {
 				z = a + 1
 			}
-			busy := float64(res.Trace.BusyInWindow(pe, a, z)) / float64(z-a)
+			busy := float64(obs.BusyInWindow(spans, pe, int64(a), int64(z))) / float64(z-a)
 			idx := int(busy * float64(len(shades)))
 			if idx >= len(shades) {
 				idx = len(shades) - 1
@@ -94,6 +97,32 @@ func Profile(p Params) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// TracedRun executes one traced 8-SPE + PPE lossless encode of the
+// dial workload — the same run Profile renders — and returns the raw
+// result so callers can export its timeline (WriteSimTrace).
+func TracedRun(p Params) (*core.Result, error) {
+	cfg := core.DefaultConfig(8, losslessOpt())
+	cfg.Trace = true
+	cfg.PPET1 = true
+	return core.Encode(p.DialImage(), cfg)
+}
+
+// WriteSimTrace exports a traced simulator run as Chrome trace JSON:
+// one thread per modeled PE, spans named by pipeline phase, model
+// cycles rescaled to wall-clock nanoseconds at the 3.2 GHz design
+// frequency. Loads in chrome://tracing / Perfetto alongside native
+// encoder traces.
+func WriteSimTrace(w io.Writer, res *core.Result) error {
+	if res.Trace == nil {
+		return fmt.Errorf("harness: no trace recorded (set Config.Trace)")
+	}
+	counters := map[string]int64{
+		"cycles":          int64(res.Cycles),
+		"mem_total_bytes": res.MemBytes,
+	}
+	return obs.WriteChromeTrace(w, res.Trace.TSpansNS(), counters)
 }
 
 // coreDefaultTraced and coreEncode are small test seams.

@@ -1,6 +1,10 @@
 package imgmodel
 
-import "sync"
+import (
+	"sync"
+
+	"j2kcell/internal/obs"
+)
 
 // Plane arenas for the encode pipeline: transform planes are large
 // (W×H words) and live only from the component transform until Tier-1
@@ -21,8 +25,10 @@ var (
 func GetPlane(w, h int) *Plane {
 	p, _ := planePool.Get().(*Plane)
 	if p == nil {
+		obs.Count(obs.CtrPoolPlaneMiss)
 		return NewPlane(w, h)
 	}
+	obs.Count(obs.CtrPoolPlaneHit)
 	s := padStride(w)
 	if n := s * h; cap(p.Data) < n {
 		p.Data = make([]int32, n)
@@ -46,8 +52,10 @@ func PutPlane(p *Plane) {
 func GetFPlane(w, h int) *FPlane {
 	p, _ := fplanePool.Get().(*FPlane)
 	if p == nil {
+		obs.Count(obs.CtrPoolPlaneMiss)
 		return NewFPlane(w, h)
 	}
+	obs.Count(obs.CtrPoolPlaneHit)
 	s := padStride(w)
 	if n := s * h; cap(p.Data) < n {
 		p.Data = make([]float32, n)

@@ -115,6 +115,20 @@ type Encoder struct {
 	ct   int
 	b    int // index of the byte register within buf; -1 before first
 	buf  []byte
+	// renorms counts renormalization chunks coded by EncodeBatch (one
+	// per decision that leaves the no-renorm fast path). It accumulates
+	// across Reset so Tier-1 can read a whole block's total; TakeRenorms
+	// reads and clears it.
+	renorms int64
+}
+
+// TakeRenorms returns the renormalization-chunk count accumulated since
+// the last call and resets it — the observability layer's MQ workload
+// counter.
+func (e *Encoder) TakeRenorms() int64 {
+	n := e.renorms
+	e.renorms = 0
+	return n
 }
 
 // Reset prepares the encoder for a new codeword segment, reusing the
@@ -185,6 +199,7 @@ func (e *Encoder) Encode(d int, cx *Context) {
 // depends on the encoder's interval state.
 func (e *Encoder) EncodeBatch(ops []uint8, cxs []Context) {
 	a, c, ct := e.a, e.c, e.ct
+	nren := int64(0)
 	for _, op := range ops {
 		cx := &cxs[op>>1]
 		s := cx.s
@@ -220,6 +235,7 @@ func (e *Encoder) EncodeBatch(ops []uint8, cxs []Context) {
 		// RENORME: a < 0x8000 here, so at least one shift. Shifting in
 		// ct-bounded chunks keeps c within its 28-bit register between
 		// byte-outs, exactly as the bit-at-a-time loop does.
+		nren++
 		shift := bits.LeadingZeros32(a) - 16
 		for shift >= ct {
 			a <<= uint(ct)
@@ -234,6 +250,7 @@ func (e *Encoder) EncodeBatch(ops []uint8, cxs []Context) {
 		ct -= shift
 	}
 	e.a, e.c, e.ct = a, c, ct
+	e.renorms += nren
 }
 
 func (e *Encoder) byteOut() {

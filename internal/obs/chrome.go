@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace event format (the `chrome://tracing` / Perfetto JSON
+// schema): complete events ("ph":"X") with microsecond timestamps, one
+// thread per track, plus thread-name metadata events so the UI labels
+// each worker lane.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes the spans (nanosecond timestamps) as a
+// Chrome trace JSON document. counters, when non-nil, is attached as
+// process metadata so the exported file carries the run's aggregate
+// numbers too.
+func WriteChromeTrace(w io.Writer, spans []TSpan, counters map[string]int64) error {
+	tids := map[string]int{}
+	var events []chromeEvent
+	args := map[string]any{"name": "j2kcell encode"}
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Args: args,
+	})
+	if len(counters) > 0 {
+		meta := map[string]any{}
+		for k, v := range counters {
+			meta[k] = v
+		}
+		events = append(events, chromeEvent{
+			Name: "counters", Ph: "M", Pid: 1, Args: meta,
+		})
+	}
+	for _, track := range Tracks(spans) {
+		tid := len(tids)
+		tids[track] = tid
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": track},
+		})
+	}
+	ordered := append([]TSpan(nil), spans...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
+	for _, s := range ordered {
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: "stage", Ph: "X", Pid: 1, Tid: tids[s.Track],
+			Ts: float64(s.Start) / 1e3, Dur: float64(s.End-s.Start) / 1e3,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteChromeTraceFile writes the Chrome trace to a file path.
+func WriteChromeTraceFile(path string, spans []TSpan, counters map[string]int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, spans, counters); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+// PublishExpvar registers the observability snapshot under the expvar
+// key "j2kcell" (visible at /debug/vars when an HTTP server with the
+// expvar handler is running — j2kenc's -pprof flag starts one). The
+// function reads the *current* recorder at each scrape, so it may be
+// called before Enable and survives Enable/Disable cycles. Safe to call
+// more than once.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("j2kcell", expvar.Func(func() any {
+			r := Active()
+			if r == nil {
+				return map[string]any{"enabled": false}
+			}
+			return map[string]any{
+				"enabled":       true,
+				"counters":      r.Counters(),
+				"lane_claims":   r.LaneClaims(),
+				"spans_dropped": r.Dropped(),
+			}
+		}))
+	})
+}
+
+var expvarOnce sync.Once

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers 1ns .. ~1099s in power-of-two buckets.
+const histBuckets = 41
+
+// Histogram is a lock-free power-of-two duration histogram: bucket i
+// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <=
+// 1ns). Good to a factor of two, which is all a stage-imbalance view
+// needs, at the cost of one atomic add per observation.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if h == nil {
+		return
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	// Bucket i holds 2^(i-1) < v <= 2^i, so exact powers of two land in
+	// their own bucket.
+	b := bits.Len64(uint64(ns - 1))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the total observed nanoseconds.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) in
+// nanoseconds: the top of the bucket where the q-th observation lands.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	want := int64(q * float64(total))
+	if want < 1 {
+		want = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= want {
+			if i == 0 {
+				return 1
+			}
+			return 1 << uint(i)
+		}
+	}
+	return 1 << uint(histBuckets-1)
+}
+
+// String summarizes the histogram as count/mean/p50/p99.
+func (h *Histogram) String() string {
+	n := h.Count()
+	if n == 0 {
+		return "empty"
+	}
+	mean := time.Duration(h.Sum() / n)
+	return fmt.Sprintf("n=%d mean=%v p50≤%v p99≤%v",
+		n, mean, time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)))
+}

@@ -14,6 +14,8 @@ package rate
 import (
 	"sort"
 	"sync"
+
+	"j2kcell/internal/obs"
 )
 
 // BlockRD is the rate-distortion ladder of one code block: cumulative
@@ -36,7 +38,10 @@ type HullPoint struct {
 // ComputeHull computes and caches the block's convex hull. The result
 // is always non-nil, so allocation can tell "computed, empty" from
 // "not yet computed".
-func (b *BlockRD) ComputeHull() { b.Hull = hull(*b) }
+func (b *BlockRD) ComputeHull() {
+	b.Hull = hull(*b)
+	obs.Count(obs.CtrHulls)
+}
 
 // hull computes the strictly-decreasing-slope convex hull of a block's
 // R-D ladder (slope = ΔD/ΔR from the previous hull point), the set of
@@ -168,6 +173,7 @@ func AllocateParallel(blocks []BlockRD, budget, workers int) []int {
 	// pick selects per-block passes for a slope threshold λ: keep every
 	// hull point with slope >= λ.
 	pick := func(lambda float64) ([]int, int) {
+		obs.Count(obs.CtrRateProbes)
 		sel := make([]int, len(blocks))
 		partial := make([]int, workers)
 		parallelBlocks(len(blocks), workers, func(w, lo, hi int) {

@@ -3,6 +3,7 @@ package t1
 import (
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/mq"
+	"j2kcell/internal/obs"
 )
 
 // encoder drives the three coding passes over a block.
@@ -109,7 +110,23 @@ func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain f
 		blk.Passes[len(blk.Passes)-1].SegLen = len(e.out)
 	}
 	blk.Data = e.out
+	reportBlock(e, blk)
 	return blk
+}
+
+// reportBlock publishes one coded block's workload counters — blocks,
+// coefficients scanned, MQ decisions, renormalization chunks — to the
+// observability layer. The renorm count is drained from the pooled MQ
+// encoder unconditionally so it never leaks across blocks; everything
+// else is skipped when observability is disabled.
+func reportBlock(e *encoder, blk *Block) {
+	renorms := e.mq.TakeRenorms()
+	if r := obs.Active(); r != nil {
+		r.Add(obs.CtrT1Blocks, 1)
+		r.Add(obs.CtrT1Scanned, int64(blk.TotalScanned()))
+		r.Add(obs.CtrT1Coded, int64(blk.TotalCoded()))
+		r.Add(obs.CtrMQRenorms, renorms)
+	}
 }
 
 // runPass executes one coding pass — collecting its decisions, then

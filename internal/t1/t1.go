@@ -26,6 +26,7 @@ import (
 
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/mq"
+	"j2kcell/internal/obs"
 )
 
 // Mode selects the codeword segmentation style.
@@ -147,7 +148,10 @@ type coder struct {
 func newCoder(w, h int, orient dwt.Orient) *coder {
 	c, _ := coderPool.Get().(*coder)
 	if c == nil {
+		obs.Count(obs.CtrPoolCoderMiss)
 		c = &coder{}
+	} else {
+		obs.Count(obs.CtrPoolCoderHit)
 	}
 	c.w, c.h, c.orient = w, h, orient
 	c.zcTab = zcTabFor(orient)
