@@ -21,14 +21,18 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# bench-json reruns the hot-path benchmarks (Tier-1, rate control,
-# end-to-end encode) and merges them with the committed pre-PR baseline
-# into one JSON artifact with per-benchmark speedup ratios.
-BENCH_JSON ?= BENCH_pr3.json
-BENCH_BASELINE ?= bench/baseline_pr2.txt
+# bench-json reruns the hot-path benchmarks (simd kernels, Tier-1,
+# rate control, fixed-vs-float lifting, end-to-end encode) and merges
+# them with the committed pre-PR baseline into one JSON artifact with
+# per-benchmark speedup ratios. The Benchmark_Kernel_* runs carry
+# scalar/sse2/avx2 sub-benchmarks, so the SIMD speedup is visible
+# inside the current run even where the baseline has no counterpart.
+BENCH_JSON ?= BENCH_pr4.json
+BENCH_BASELINE ?= bench/baseline_pr3.txt
 bench-json:
-	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ > bench/current.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkEncode' -benchmem . >> bench/current.txt
+	$(GO) test -run '^$$' -bench 'Benchmark_Kernel' -benchmem ./internal/simd/ > bench/current.txt
+	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkTable1' -benchmem . >> bench/current.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
 
 # trace produces sample Chrome traces (open in chrome://tracing or

@@ -27,6 +27,7 @@ import (
 	"j2kcell/internal/bmp"
 	"j2kcell/internal/obs"
 	"j2kcell/internal/pnm"
+	"j2kcell/internal/simd"
 )
 
 func main() {
@@ -106,6 +107,8 @@ func main() {
 		rec.Close()
 		spans := rec.TSpans()
 		if *report {
+			fmt.Printf("simd kernels: %s (available: %s)\n",
+				simd.Kernel(), strings.Join(simd.Available(), ", "))
 			fmt.Print(obs.BuildReport(spans, *workers).Table())
 		}
 		if *metrics {

@@ -12,6 +12,7 @@ import (
 	"j2kcell/internal/obs"
 	"j2kcell/internal/quant"
 	"j2kcell/internal/rate"
+	"j2kcell/internal/simd"
 	"j2kcell/internal/t1"
 )
 
@@ -408,6 +409,12 @@ func warmGains(opt Options) {
 func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, error) {
 	if err := validateImage(img); err != nil {
 		return nil, err
+	}
+	// Record which simd kernel set serves this encode; the counter shows
+	// up in MetricsTable/expvar so a perf report can tell scalar, SSE2,
+	// and AVX2 runs apart.
+	if ctr, ok := obs.KernelCounter(simd.Kernel()); ok {
+		obs.Active().Add(ctr, 1)
 	}
 	if opt.TileW > 0 || opt.TileH > 0 {
 		if opt.TileW <= 0 || opt.TileH <= 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"j2kcell/internal/simd"
 	"j2kcell/internal/workload"
 )
 
@@ -455,5 +456,15 @@ func TestInverseLevelsStopZeroEqualsInverse(t *testing.T) {
 		if a[i] != orig[i] {
 			t.Fatal("stop=0 did not fully invert")
 		}
+	}
+}
+
+// TestFixShiftMatchesSIMD pins the Q13 format shared with the simd
+// kernel layer: simd.FixAddMulRow decomposes the 64-bit fixMul product
+// assuming exactly this many fractional bits, so the two constants
+// must never drift apart.
+func TestFixShiftMatchesSIMD(t *testing.T) {
+	if FixShift != simd.FixShift {
+		t.Fatalf("dwt.FixShift = %d, simd.FixShift = %d", FixShift, simd.FixShift)
 	}
 }

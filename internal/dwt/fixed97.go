@@ -1,5 +1,7 @@
 package dwt
 
+import "j2kcell/internal/simd"
+
 // JasPer-style fixed-point 9/7 transform. JasPer represents the lossy
 // pipeline's real numbers as 32-bit fixed point (Q13) on the assumption
 // that integer multiplies beat floats; Section 4 of the paper shows the
@@ -36,11 +38,11 @@ var (
 
 func toFix(v float64) int32 { return int32(v * (1 << FixShift)) }
 
-// Lift97Fixed applies d[i] += c*(e0[i]+e1[i]) in Q13.
+// Lift97Fixed applies d[i] += c*(e0[i]+e1[i]) in Q13, dispatched
+// through the simd kernel layer (the vector forms decompose the 64-bit
+// product exactly, see simd.FixAddMulRow).
 func Lift97Fixed(d, e0, e1 []int32, c int32) {
-	for i := range d {
-		d[i] += fixMul(c, e0[i]+e1[i])
-	}
+	simd.FixAddMulRow(d, e0, e1, c)
 }
 
 // fwd97FixedLine is the Q13 counterpart of Fwd97Line.
@@ -82,9 +84,7 @@ func fwd97FixedLine(x []int32, tmp []int32) {
 	for k := 0; k < nl; k++ {
 		low[k] = fixMul(low[k]+fixMul(fixDelta, cd(k-1)+cd(k)), fixInvK)
 	}
-	for k := 0; k < nh; k++ {
-		high[k] = fixMul(high[k], fixK)
-	}
+	simd.FixScaleRow(high, fixK)
 	copy(x, tmp[:n])
 }
 
@@ -98,12 +98,8 @@ func inv97FixedLine(x []int32, tmp []int32) {
 	low, high := tmp[:nl], tmp[nl:n]
 	copy(low, x[:nl])
 	copy(high, x[nl:n])
-	for k := range low {
-		low[k] = fixMul(low[k], fixK)
-	}
-	for k := range high {
-		high[k] = fixMul(high[k], fixInvK)
-	}
+	simd.FixScaleRow(low, fixK)
+	simd.FixScaleRow(high, fixInvK)
 	cd := func(k int) int32 {
 		if k < 0 {
 			k = 0
@@ -165,9 +161,7 @@ func vertical97Fixed(data []int32, w, h, stride int, aux []int32, inverse bool) 
 		return row(k)
 	}
 	scaleRow := func(r []int32, c int32) {
-		for i := range r {
-			r[i] = fixMul(r[i], c)
-		}
+		simd.FixScaleRow(r, c)
 	}
 	if !inverse {
 		for k := 0; k < nh; k++ {

@@ -1,36 +1,32 @@
 package dwt
 
+import "j2kcell/internal/simd"
+
 // Row-vector lifting primitives for the reversible 5/3 transform. Each
 // treats whole rows as the "samples" of the lifting recurrence; the SPE
 // kernels in internal/core reuse these on Local Store buffers so the
-// parallel encoder is arithmetic-identical to this reference.
+// parallel encoder is arithmetic-identical to this reference. The row
+// bodies dispatch through the simd kernel layer; the vector forms use
+// the same wrapping adds and arithmetic shifts, so they are exact.
 
 // Lift53High applies d[i] -= (e0[i] + e1[i]) >> 1 (first lifting step).
 func Lift53High(d, e0, e1 []int32) {
-	for i := range d {
-		d[i] -= (e0[i] + e1[i]) >> 1
-	}
+	simd.SubShr1Row(d, d, e0, e1)
 }
 
 // Lift53Low applies s[i] += (d0[i] + d1[i] + 2) >> 2 (second step).
 func Lift53Low(s, d0, d1 []int32) {
-	for i := range s {
-		s[i] += (d0[i] + d1[i] + 2) >> 2
-	}
+	simd.AddShr2Row(s, s, d0, d1)
 }
 
 // Unlift53Low reverses Lift53Low.
 func Unlift53Low(s, d0, d1 []int32) {
-	for i := range s {
-		s[i] -= (d0[i] + d1[i] + 2) >> 2
-	}
+	simd.SubShr2Row(s, s, d0, d1)
 }
 
 // Unlift53High reverses Lift53High.
 func Unlift53High(d, e0, e1 []int32) {
-	for i := range d {
-		d[i] += (e0[i] + e1[i]) >> 1
-	}
+	simd.AddShr1Row(d, d, e0, e1)
 }
 
 // Fused53Step computes one step of the merged split+interleaved-lifting
@@ -42,12 +38,8 @@ func Unlift53High(d, e0, e1 []int32) {
 // The SPE kernels stream exactly this step, so the parallel encoder is
 // arithmetic-identical to the sequential one.
 func Fused53Step(d, s, e0, o, e1, dPrev []int32) {
-	for i := range d {
-		d[i] = o[i] - ((e0[i] + e1[i]) >> 1)
-	}
-	for i := range s {
-		s[i] = e0[i] + ((dPrev[i] + d[i] + 2) >> 2)
-	}
+	simd.SubShr1Row(d, o, e0, e1)
+	simd.AddShr2Row(s, e0, dPrev, d)
 }
 
 // Vertical53Naive performs vertical 5/3 analysis on the w×h region the
@@ -135,10 +127,10 @@ func Vertical53Fused(data []int32, w, h, stride int, aux []int32) {
 // Fused53Tail computes the final low row of an odd-height sweep:
 // s[i] = e0[i] + ((2*d[i]+2)>>2), the d index clamped to the last high
 // row. s may alias e0.
+// Routing through the shared kernel with d0 = d1 = d is exact:
+// d+d+2 == 2*d+2 under two's-complement wrap.
 func Fused53Tail(s, e0, d []int32) {
-	for i := range s {
-		s[i] = e0[i] + ((2*d[i] + 2) >> 2)
-	}
+	simd.AddShr2Row(s, e0, d, d)
 }
 
 // inverseVertical53 exactly reverses the vertical analysis: un-lift the

@@ -1,5 +1,7 @@
 package dwt
 
+import "j2kcell/internal/simd"
+
 // Irreversible 9/7 lifting (Cohen–Daubechies–Feauveau) per ITU-T T.800:
 // four lifting steps and a scaling step. With the constants below a
 // constant signal lands entirely in the (unit-gain) low band and a
@@ -15,18 +17,16 @@ const (
 )
 
 // Lift97 applies d[i] += c * (e0[i] + e1[i]) — one lifting step over
-// row vectors.
+// row vectors. Dispatched through the simd kernel layer; the vector
+// forms perform the identical add/mul/add rounding chain (no FMA), so
+// results are bit-identical to the scalar loop.
 func Lift97(d, e0, e1 []float32, c float32) {
-	for i := range d {
-		d[i] += c * (e0[i] + e1[i])
-	}
+	simd.AddMulRow(d, d, e0, e1, c)
 }
 
 // Scale97 multiplies a row by k.
 func Scale97(r []float32, k float32) {
-	for i := range r {
-		r[i] *= k
-	}
+	simd.MulConstRow(r, r, k)
 }
 
 // Vertical97Naive performs vertical 9/7 analysis as six sweeps over the
@@ -169,44 +169,34 @@ func Vertical97Fused(data []float32, w, h, stride int, aux []float32) {
 
 // Fused97Step1 computes d1 = o + α(e0 + e1).
 func Fused97Step1(d, e0, o, e1 []float32) {
-	for i := range d {
-		d[i] = o[i] + float32(Alpha97)*(e0[i]+e1[i])
-	}
+	simd.AddMulRow(d, o, e0, e1, float32(Alpha97))
 }
 
 // Fused97Step2 computes e1 = e0 + β(dPrev + dCur). s may alias e0.
 func Fused97Step2(s, e0, dPrev, dCur []float32) {
-	for i := range s {
-		s[i] = e0[i] + float32(Beta97)*(dPrev[i]+dCur[i])
-	}
+	simd.AddMulRow(s, e0, dPrev, dCur, float32(Beta97))
 }
 
 // Fused97Step2Tail computes the odd-height tail e1 = e0 + 2β·d.
+// β*(d+d) and (2β)*d round the same real product once, so routing the
+// tail through the shared kernel with b = c = d is bit-identical.
 func Fused97Step2Tail(s, e0, d []float32) {
-	for i := range s {
-		s[i] = e0[i] + float32(Beta97)*2*d[i]
-	}
+	simd.AddMulRow(s, e0, d, d, float32(Beta97))
 }
 
 // Fused97Step4 computes e2 = (e1 + δ(dPrev + dCur)) / K in place.
 func Fused97Step4(s, dPrev, dCur []float32) {
-	for i := range s {
-		s[i] = (s[i] + float32(Delta97)*(dPrev[i]+dCur[i])) * float32(InvK97)
-	}
+	simd.AddMulScaleRow(s, dPrev, dCur, float32(Delta97), float32(InvK97))
 }
 
 // Fused97Step4Tail computes the odd-height tail e2 = (e1 + 2δ·d) / K.
 func Fused97Step4Tail(s, d []float32) {
-	for i := range s {
-		s[i] = (s[i] + float32(Delta97)*2*d[i]) * float32(InvK97)
-	}
+	simd.AddMulScaleRow(s, d, d, float32(Delta97), float32(InvK97))
 }
 
 // Fused97ScaleHigh delivers a high row with its K scaling: out = d·K.
 func Fused97ScaleHigh(out, d []float32) {
-	for i := range out {
-		out[i] = d[i] * float32(K97)
-	}
+	simd.MulConstRow(out, d, float32(K97))
 }
 
 // inverseVertical97 reverses the vertical 9/7 analysis.

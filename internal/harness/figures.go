@@ -2,12 +2,15 @@ package harness
 
 import (
 	"fmt"
+	"testing"
 
 	"j2kcell/internal/baseline"
 	"j2kcell/internal/cell"
 	"j2kcell/internal/codec"
 	"j2kcell/internal/core"
+	"j2kcell/internal/dwt"
 	"j2kcell/internal/imgmodel"
+	"j2kcell/internal/simd"
 	"j2kcell/internal/spu"
 )
 
@@ -42,7 +45,48 @@ func Table1() *Table {
 		"pipeline-model cycles/vector ratio of the lifting inner loop")
 	t.AddRow("9/7 kernel, fixed vs float (cost model)", f2(cell.SPECosts.DWT97Fix/cell.SPECosts.DWT97),
 		"calibrated cycles/sample ratio used by the encoder model")
+	fNs, xNs := hostLiftNs()
+	kern := simd.Kernel()
+	t.AddRow(fmt.Sprintf("host 9/7 lift row, float (simd:%s)", kern),
+		fmt.Sprintf("%s ns/sample", f2(fNs)), "measured on this machine via dwt.Lift97")
+	t.AddRow(fmt.Sprintf("host 9/7 lift row, Q13 fixed (simd:%s)", kern),
+		fmt.Sprintf("%s ns/sample", f2(xNs)), "measured on this machine via dwt.Lift97Fixed")
+	t.AddRow("host 9/7 lifting, fixed vs float", f2(xNs/fNs),
+		"this machine's counterpart of the SPE ratio above")
 	return t
+}
+
+// hostLiftNs wall-clocks one 9/7 lifting row step on the host in both
+// representations (float32 and JasPer's Q13 fixed point), through
+// whatever simd kernel set is active. It is the x86 counterpart of the
+// paper's Section 4 measurement: on the SPE the emulated 32-bit
+// integer multiply makes fixed point lose; here both go through native
+// vector units, so the ratio shows what the SPE argument looks like on
+// a machine without the mpyh penalty.
+func hostLiftNs() (floatNs, fixedNs float64) {
+	const n = 4096
+	df := make([]float32, n)
+	ef0 := make([]float32, n)
+	ef1 := make([]float32, n)
+	dx := make([]int32, n)
+	ex0 := make([]int32, n)
+	ex1 := make([]int32, n)
+	for i := 0; i < n; i++ {
+		v := float32(i%255) - 127
+		df[i], ef0[i], ef1[i] = v, v+1, v-1
+		dx[i], ex0[i], ex1[i] = dwt.ToFixed(int32(i%255)-127), int32(i%511), -int32(i%257)
+	}
+	rf := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dwt.Lift97(df, ef0, ef1, float32(dwt.Alpha97))
+		}
+	})
+	rx := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dwt.Lift97Fixed(dx, ex0, ex1, -12994)
+		}
+	})
+	return float64(rf.NsPerOp()) / n, float64(rx.NsPerOp()) / n
 }
 
 // sweepConfig describes one bar of Figures 4/5.

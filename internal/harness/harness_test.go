@@ -14,7 +14,11 @@ func smallParams() Params {
 
 func cellFloat(t *testing.T, tab *Table, row, col int) float64 {
 	t.Helper()
-	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	s := tab.Rows[row][col]
+	if f := strings.Fields(s); len(f) > 0 {
+		s = f[0] // strip unit suffixes like " ns/sample"
+	}
+	s = strings.TrimSuffix(s, "%")
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		t.Fatalf("%s: row %d col %d %q: %v", tab.Title, row, col, tab.Rows[row][col], err)
@@ -35,7 +39,7 @@ func findRow(t *testing.T, tab *Table, prefix string) int {
 
 func TestTable1Shape(t *testing.T) {
 	tab := Table1()
-	if len(tab.Rows) != 9 {
+	if len(tab.Rows) != 12 {
 		t.Fatalf("rows: %d", len(tab.Rows))
 	}
 	if tab.Rows[0][1] != "7" || tab.Rows[2][1] != "2" || tab.Rows[3][1] != "6" {
@@ -49,6 +53,19 @@ func TestTable1Shape(t *testing.T) {
 	// The scheduled and calibrated ratios must corroborate each other.
 	if r := sched / model; r < 0.7 || r > 1.4 {
 		t.Fatalf("scheduled (%.2f) and calibrated (%.2f) ratios diverge", sched, model)
+	}
+	// Host rows: both representations must have been timed (positive
+	// ns/sample) and produce a finite ratio. Unlike the SPE, the host
+	// ratio carries no sign expectation — both paths hit native vector
+	// units — so only sanity is pinned, not direction.
+	hostF := cellFloat(t, tab, 9, 1)
+	hostX := cellFloat(t, tab, 10, 1)
+	hostR := cellFloat(t, tab, 11, 1)
+	if hostF <= 0 || hostX <= 0 || hostR <= 0 {
+		t.Fatalf("host lifting rows not measured: float %v fixed %v ratio %v", hostF, hostX, hostR)
+	}
+	if !strings.Contains(tab.Rows[9][0], "simd:") {
+		t.Fatalf("host row should name the simd kernel set: %q", tab.Rows[9][0])
 	}
 }
 

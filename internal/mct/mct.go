@@ -7,21 +7,19 @@
 // by the SPE kernels.
 package mct
 
+import "j2kcell/internal/simd"
+
 // LevelShiftRow subtracts 2^(depth-1) from every sample (forward shift
 // for unsigned input).
 func LevelShiftRow(row []int32, depth int) {
 	off := int32(1) << (depth - 1)
-	for i := range row {
-		row[i] -= off
-	}
+	simd.AddConstRow(row, -off)
 }
 
 // UnshiftRow adds 2^(depth-1) back to every sample.
 func UnshiftRow(row []int32, depth int) {
 	off := int32(1) << (depth - 1)
-	for i := range row {
-		row[i] += off
-	}
+	simd.AddConstRow(row, off)
 }
 
 // ForwardRCTRow applies the merged level shift + reversible color
@@ -32,13 +30,7 @@ func UnshiftRow(row []int32, depth int) {
 // where X' = X - 2^(depth-1).
 func ForwardRCTRow(r, g, b []int32, depth int) {
 	off := int32(1) << (depth - 1)
-	for i := range r {
-		rr, gg, bb := r[i]-off, g[i]-off, b[i]-off
-		y := (rr + 2*gg + bb) >> 2
-		cb := bb - gg
-		cr := rr - gg
-		r[i], g[i], b[i] = y, cb, cr
-	}
+	simd.ForwardRCTRow(r, g, b, off)
 }
 
 // InverseRCTRow undoes ForwardRCTRow in place, including the level
@@ -69,13 +61,13 @@ const (
 // ForwardICTRow applies the merged level shift + irreversible color
 // transform, reading integer (R,G,B) rows and writing float (Y,Cb,Cr).
 func ForwardICTRow(r, g, b []int32, y, cb, cr []float32, depth int) {
-	off := float32(int32(1) << (depth - 1))
-	for i := range r {
-		rr, gg, bb := float32(r[i])-off, float32(g[i])-off, float32(b[i])-off
-		y[i] = ictYR*rr + ictYG*gg + ictYB*bb
-		cb[i] = ictCbR*rr + ictCbG*gg + ictCbB*bb
-		cr[i] = ictCrR*rr + ictCrG*gg + ictCrB*bb
+	p := simd.ICTParams{
+		Off: float32(int32(1) << (depth - 1)),
+		YR:  ictYR, YG: ictYG, YB: ictYB,
+		CbR: ictCbR, CbG: ictCbG, CbB: ictCbB,
+		CrR: ictCrR, CrG: ictCrG, CrB: ictCrB,
 	}
+	simd.ForwardICTRow(r, g, b, y, cb, cr, &p)
 }
 
 // InverseICTRow undoes ForwardICTRow, rounding to the nearest integer

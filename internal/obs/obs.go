@@ -90,6 +90,9 @@ const (
 	CtrPoolCoderMiss                 // Tier-1 coder state allocation
 	CtrRateProbes                    // PCRD λ-bisection probes
 	CtrHulls                         // convex hulls computed
+	CtrKernelScalar                  // encodes run with the scalar kernel set
+	CtrKernelSSE2                    // encodes run with the SSE2 kernel set
+	CtrKernelAVX2                    // encodes run with the AVX2 kernel set
 	numCounters
 )
 
@@ -101,6 +104,22 @@ var counterNames = [numCounters]string{
 	"pool_scratch_hit", "pool_scratch_miss",
 	"pool_coder_hit", "pool_coder_miss",
 	"rate_probes", "hulls",
+	"kernel_scalar_encodes", "kernel_sse2_encodes", "kernel_avx2_encodes",
+}
+
+// KernelCounter maps a simd kernel-set name ("scalar", "sse2", "avx2")
+// to its per-encode counter, so the codec can record which
+// implementation served each encode without obs importing simd.
+func KernelCounter(name string) (Counter, bool) {
+	switch name {
+	case "scalar":
+		return CtrKernelScalar, true
+	case "sse2":
+		return CtrKernelSSE2, true
+	case "avx2":
+		return CtrKernelAVX2, true
+	}
+	return 0, false
 }
 
 func (c Counter) String() string {

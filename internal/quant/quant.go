@@ -8,6 +8,7 @@ package quant
 
 import (
 	"j2kcell/internal/dwt"
+	"j2kcell/internal/simd"
 )
 
 // DefaultBaseDelta is Δ0: half an 8-bit gray level of image-domain
@@ -21,15 +22,10 @@ func StepFor(baseDelta float64, levels int, o dwt.Orient, level int) float64 {
 
 // QuantizeRow converts one row of 9/7 coefficients to sign-magnitude
 // integers: q = sign(v) * floor(|v| / Δ).
+// The branchy sign split of the scalar form is equivalent to one
+// truncation toward zero, which is what the vector kernel performs.
 func QuantizeRow(dst []int32, src []float32, delta float32) {
-	inv := 1 / delta
-	for i, v := range src {
-		if v >= 0 {
-			dst[i] = int32(v * inv)
-		} else {
-			dst[i] = -int32(-v * inv)
-		}
-	}
+	simd.QuantizeRow(dst, src, 1/delta)
 }
 
 // QuantizeBlock quantizes a w×h region with independent source and

@@ -1,0 +1,11 @@
+//go:build !amd64 || noasm
+
+package simd
+
+// detect on platforms without assembly kernels (or with the noasm tag)
+// installs the scalar oracle as the only set. J2K_NOSIMD is a no-op
+// here — scalar is already everything there is.
+func detect() {
+	available = []*kernels{&scalarSet}
+	active.Store(&scalarSet)
+}

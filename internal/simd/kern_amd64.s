@@ -1,0 +1,1111 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Vector kernels for the hot elementwise loops of the encoder.
+//
+// Conventions (see DESIGN.md §7):
+//   - Every kernel processes the longest whole-vector prefix of the row
+//     (n &^ 7 elements for AVX2, n &^ 3 for SSE2) and returns that count
+//     in n; the Go wrapper runs the scalar oracle over the tail.
+//   - All memory accesses use unaligned loads/stores (VMOVUPS / VMOVDQU /
+//     MOVUPS / MOVOU), so callers may pass slices at any offset.
+//   - Float kernels use only packed add/sub/mul — never FMA — so every
+//     lane performs the same sequence of IEEE-754 float32 roundings as
+//     the Go scalar loop and results are bit-identical.
+//   - SSE2 arithmetic never takes a memory operand (m128 forms require
+//     16-byte alignment); operands are loaded with MOVUPS/MOVOU first.
+//   - AVX2 kernels end with VZEROUPPER to avoid SSE/AVX transition
+//     stalls in the surrounding Go code.
+
+// ---------------------------------------------------------------------
+// addMulF32: dst[i] = a[i] + k*(b[i]+c[i])
+// ---------------------------------------------------------------------
+
+// func addMulF32AVX2(dst, a, b, c []float32, k float32) (n int)
+TEXT ·addMulF32AVX2(SB), NOSPLIT, $0-112
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	VBROADCASTSS k+96(FP), Y0
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVUPS (R8)(CX*4), Y1
+	VADDPS  (R9)(CX*4), Y1, Y1
+	VMULPS  Y0, Y1, Y1
+	VADDPS  (SI)(CX*4), Y1, Y1
+	VMOVUPS Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+104(FP)
+	RET
+
+// func addMulF32SSE2(dst, a, b, c []float32, k float32) (n int)
+TEXT ·addMulF32SSE2(SB), NOSPLIT, $0-112
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	MOVSS  k+96(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVUPS (R8)(CX*4), X1
+	MOVUPS (R9)(CX*4), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS (SI)(CX*4), X3
+	ADDPS  X3, X1
+	MOVUPS X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+104(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// addMulScaleF32: s[i] = (s[i] + k*(b[i]+c[i])) * scale
+// ---------------------------------------------------------------------
+
+// func addMulScaleF32AVX2(s, b, c []float32, k, scale float32) (n int)
+TEXT ·addMulScaleF32AVX2(SB), NOSPLIT, $0-88
+	MOVQ s_base+0(FP), DI
+	MOVQ s_len+8(FP), DX
+	MOVQ b_base+24(FP), R8
+	MOVQ c_base+48(FP), R9
+	VBROADCASTSS k+72(FP), Y0
+	VBROADCASTSS scale+76(FP), Y2
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVUPS (R8)(CX*4), Y1
+	VADDPS  (R9)(CX*4), Y1, Y1
+	VMULPS  Y0, Y1, Y1
+	VADDPS  (DI)(CX*4), Y1, Y1
+	VMULPS  Y2, Y1, Y1
+	VMOVUPS Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+80(FP)
+	RET
+
+// func addMulScaleF32SSE2(s, b, c []float32, k, scale float32) (n int)
+TEXT ·addMulScaleF32SSE2(SB), NOSPLIT, $0-88
+	MOVQ s_base+0(FP), DI
+	MOVQ s_len+8(FP), DX
+	MOVQ b_base+24(FP), R8
+	MOVQ c_base+48(FP), R9
+	MOVSS  k+72(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVSS  scale+76(FP), X4
+	SHUFPS $0x00, X4, X4
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVUPS (R8)(CX*4), X1
+	MOVUPS (R9)(CX*4), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS (DI)(CX*4), X3
+	ADDPS  X3, X1
+	MULPS  X4, X1
+	MOVUPS X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+80(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// mulConstF32: dst[i] = src[i] * k
+// ---------------------------------------------------------------------
+
+// func mulConstF32AVX2(dst, src []float32, k float32) (n int)
+TEXT ·mulConstF32AVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ src_base+24(FP), SI
+	VBROADCASTSS k+48(FP), Y0
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVUPS (SI)(CX*4), Y1
+	VMULPS  Y0, Y1, Y1
+	VMOVUPS Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+56(FP)
+	RET
+
+// func mulConstF32SSE2(dst, src []float32, k float32) (n int)
+TEXT ·mulConstF32SSE2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ src_base+24(FP), SI
+	MOVSS  k+48(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVUPS (SI)(CX*4), X1
+	MULPS  X0, X1
+	MOVUPS X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+56(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// quantF32: dst[i] = trunc(src[i] * inv)  (dead-zone quantizer core;
+// CVTTPS2DQ truncates toward zero and yields 0x80000000 on overflow
+// and NaN, exactly like gc's scalar CVTTSS2SL on both branches of the
+// sign split in the Go loop)
+// ---------------------------------------------------------------------
+
+// func quantF32AVX2(dst []int32, src []float32, inv float32) (n int)
+TEXT ·quantF32AVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), DX
+	VBROADCASTSS inv+48(FP), Y0
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVUPS    (SI)(CX*4), Y1
+	VMULPS     Y0, Y1, Y1
+	VCVTTPS2DQ Y1, Y1
+	VMOVDQU    Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+56(FP)
+	RET
+
+// func quantF32SSE2(dst []int32, src []float32, inv float32) (n int)
+TEXT ·quantF32SSE2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), DX
+	MOVSS  inv+48(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVUPS    (SI)(CX*4), X1
+	MULPS     X0, X1
+	CVTTPS2PL X1, X1
+	MOVOU     X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+56(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// ictFwd: irreversible color transform.
+//   rr = float32(r[i]) - off (likewise gg, bb)
+//   y  = (YR*rr + YG*gg) + YB*bb   (left-assoc, same rounding order
+//   cb = (CbR*rr + CbG*gg) + CbB*bb as the scalar loop)
+//   cr = (CrR*rr + CrG*gg) + CrB*bb
+// ICTParams field offsets: Off=0 YR=4 YG=8 YB=12 CbR=16 CbG=20 CbB=24
+// CrR=28 CrG=32 CrB=36.
+// ---------------------------------------------------------------------
+
+// func ictFwdAVX2(r, g, b []int32, y, cb, cr []float32, p *ICTParams) (n int)
+TEXT ·ictFwdAVX2(SB), NOSPLIT, $0-160
+	MOVQ r_base+0(FP), SI
+	MOVQ r_len+8(FP), DX
+	MOVQ g_base+24(FP), R8
+	MOVQ b_base+48(FP), R9
+	MOVQ y_base+72(FP), R10
+	MOVQ cb_base+96(FP), R11
+	MOVQ cr_base+120(FP), R12
+	MOVQ p+144(FP), BX
+	VBROADCASTSS 0(BX), Y15  // off
+	VBROADCASTSS 4(BX), Y6   // YR
+	VBROADCASTSS 8(BX), Y7   // YG
+	VBROADCASTSS 12(BX), Y8  // YB
+	VBROADCASTSS 16(BX), Y9  // CbR
+	VBROADCASTSS 20(BX), Y10 // CbG
+	VBROADCASTSS 24(BX), Y11 // CbB
+	VBROADCASTSS 28(BX), Y12 // CrR
+	VBROADCASTSS 32(BX), Y13 // CrG
+	VBROADCASTSS 36(BX), Y14 // CrB
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VCVTDQ2PS (SI)(CX*4), Y0
+	VSUBPS    Y15, Y0, Y0    // rr
+	VCVTDQ2PS (R8)(CX*4), Y1
+	VSUBPS    Y15, Y1, Y1    // gg
+	VCVTDQ2PS (R9)(CX*4), Y2
+	VSUBPS    Y15, Y2, Y2    // bb
+
+	VMULPS Y0, Y6, Y3        // YR*rr
+	VMULPS Y1, Y7, Y4        // YG*gg
+	VADDPS Y4, Y3, Y3
+	VMULPS Y2, Y8, Y4        // YB*bb
+	VADDPS Y4, Y3, Y3
+	VMOVUPS Y3, (R10)(CX*4)
+
+	VMULPS Y0, Y9, Y3
+	VMULPS Y1, Y10, Y4
+	VADDPS Y4, Y3, Y3
+	VMULPS Y2, Y11, Y4
+	VADDPS Y4, Y3, Y3
+	VMOVUPS Y3, (R11)(CX*4)
+
+	VMULPS Y0, Y12, Y3
+	VMULPS Y1, Y13, Y4
+	VADDPS Y4, Y3, Y3
+	VMULPS Y2, Y14, Y4
+	VADDPS Y4, Y3, Y3
+	VMOVUPS Y3, (R12)(CX*4)
+
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+152(FP)
+	RET
+
+// func ictFwdSSE2(r, g, b []int32, y, cb, cr []float32, p *ICTParams) (n int)
+TEXT ·ictFwdSSE2(SB), NOSPLIT, $0-160
+	MOVQ r_base+0(FP), SI
+	MOVQ r_len+8(FP), DX
+	MOVQ g_base+24(FP), R8
+	MOVQ b_base+48(FP), R9
+	MOVQ y_base+72(FP), R10
+	MOVQ cb_base+96(FP), R11
+	MOVQ cr_base+120(FP), R12
+	MOVQ p+144(FP), BX
+	MOVSS  0(BX), X5
+	SHUFPS $0x00, X5, X5     // off
+	MOVSS  4(BX), X6
+	SHUFPS $0x00, X6, X6     // YR
+	MOVSS  8(BX), X7
+	SHUFPS $0x00, X7, X7     // YG
+	MOVSS  12(BX), X8
+	SHUFPS $0x00, X8, X8     // YB
+	MOVSS  16(BX), X9
+	SHUFPS $0x00, X9, X9     // CbR
+	MOVSS  20(BX), X10
+	SHUFPS $0x00, X10, X10   // CbG
+	MOVSS  24(BX), X11
+	SHUFPS $0x00, X11, X11   // CbB
+	MOVSS  28(BX), X12
+	SHUFPS $0x00, X12, X12   // CrR
+	MOVSS  32(BX), X13
+	SHUFPS $0x00, X13, X13   // CrG
+	MOVSS  36(BX), X14
+	SHUFPS $0x00, X14, X14   // CrB
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU    (SI)(CX*4), X0
+	CVTPL2PS X0, X0
+	SUBPS    X5, X0          // rr
+	MOVOU    (R8)(CX*4), X1
+	CVTPL2PS X1, X1
+	SUBPS    X5, X1          // gg
+	MOVOU    (R9)(CX*4), X2
+	CVTPL2PS X2, X2
+	SUBPS    X5, X2          // bb
+
+	MOVAPS X6, X3
+	MULPS  X0, X3
+	MOVAPS X7, X4
+	MULPS  X1, X4
+	ADDPS  X4, X3
+	MOVAPS X8, X4
+	MULPS  X2, X4
+	ADDPS  X4, X3
+	MOVUPS X3, (R10)(CX*4)
+
+	MOVAPS X9, X3
+	MULPS  X0, X3
+	MOVAPS X10, X4
+	MULPS  X1, X4
+	ADDPS  X4, X3
+	MOVAPS X11, X4
+	MULPS  X2, X4
+	ADDPS  X4, X3
+	MOVUPS X3, (R11)(CX*4)
+
+	MOVAPS X12, X3
+	MULPS  X0, X3
+	MOVAPS X13, X4
+	MULPS  X1, X4
+	ADDPS  X4, X3
+	MOVAPS X14, X4
+	MULPS  X2, X4
+	ADDPS  X4, X3
+	MOVUPS X3, (R12)(CX*4)
+
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+152(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// 5/3 integer lifting rows. Two's-complement wrap and arithmetic shift
+// match the Go scalar loops on every input.
+//   addShr1: dst[i] = a[i] + ((b[i]+c[i]) >> 1)
+//   subShr1: dst[i] = a[i] - ((b[i]+c[i]) >> 1)
+//   addShr2: dst[i] = a[i] + ((b[i]+c[i]+2) >> 2)
+//   subShr2: dst[i] = a[i] - ((b[i]+c[i]+2) >> 2)
+// ---------------------------------------------------------------------
+
+// func addShr1I32AVX2(dst, a, b, c []int32) (n int)
+TEXT ·addShr1I32AVX2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (R8)(CX*4), Y1
+	VPADDD  (R9)(CX*4), Y1, Y1
+	VPSRAD  $1, Y1, Y1
+	VPADDD  (SI)(CX*4), Y1, Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+96(FP)
+	RET
+
+// func addShr1I32SSE2(dst, a, b, c []int32) (n int)
+TEXT ·addShr1I32SSE2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (R8)(CX*4), X1
+	MOVOU (R9)(CX*4), X2
+	PADDL X2, X1
+	PSRAL $1, X1
+	MOVOU (SI)(CX*4), X3
+	PADDL X3, X1
+	MOVOU X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+96(FP)
+	RET
+
+// func subShr1I32AVX2(dst, a, b, c []int32) (n int)
+TEXT ·subShr1I32AVX2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (R8)(CX*4), Y1
+	VPADDD  (R9)(CX*4), Y1, Y1
+	VPSRAD  $1, Y1, Y1
+	VMOVDQU (SI)(CX*4), Y2
+	VPSUBD  Y1, Y2, Y2
+	VMOVDQU Y2, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+96(FP)
+	RET
+
+// func subShr1I32SSE2(dst, a, b, c []int32) (n int)
+TEXT ·subShr1I32SSE2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (R8)(CX*4), X1
+	MOVOU (R9)(CX*4), X2
+	PADDL X2, X1
+	PSRAL $1, X1
+	MOVOU (SI)(CX*4), X3
+	PSUBL X1, X3
+	MOVOU X3, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+96(FP)
+	RET
+
+// func addShr2I32AVX2(dst, a, b, c []int32) (n int)
+TEXT ·addShr2I32AVX2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	VPCMPEQD Y7, Y7, Y7
+	VPSRLD   $31, Y7, Y7
+	VPADDD   Y7, Y7, Y7      // 2 in every lane
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (R8)(CX*4), Y1
+	VPADDD  (R9)(CX*4), Y1, Y1
+	VPADDD  Y7, Y1, Y1
+	VPSRAD  $2, Y1, Y1
+	VPADDD  (SI)(CX*4), Y1, Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+96(FP)
+	RET
+
+// func addShr2I32SSE2(dst, a, b, c []int32) (n int)
+TEXT ·addShr2I32SSE2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	PCMPEQL X7, X7
+	PSRLL   $31, X7
+	PADDL   X7, X7           // 2 in every lane
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (R8)(CX*4), X1
+	MOVOU (R9)(CX*4), X2
+	PADDL X2, X1
+	PADDL X7, X1
+	PSRAL $2, X1
+	MOVOU (SI)(CX*4), X3
+	PADDL X3, X1
+	MOVOU X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+96(FP)
+	RET
+
+// func subShr2I32AVX2(dst, a, b, c []int32) (n int)
+TEXT ·subShr2I32AVX2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	VPCMPEQD Y7, Y7, Y7
+	VPSRLD   $31, Y7, Y7
+	VPADDD   Y7, Y7, Y7      // 2 in every lane
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (R8)(CX*4), Y1
+	VPADDD  (R9)(CX*4), Y1, Y1
+	VPADDD  Y7, Y1, Y1
+	VPSRAD  $2, Y1, Y1
+	VMOVDQU (SI)(CX*4), Y2
+	VPSUBD  Y1, Y2, Y2
+	VMOVDQU Y2, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+96(FP)
+	RET
+
+// func subShr2I32SSE2(dst, a, b, c []int32) (n int)
+TEXT ·subShr2I32SSE2(SB), NOSPLIT, $0-104
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	MOVQ c_base+72(FP), R9
+	PCMPEQL X7, X7
+	PSRLL   $31, X7
+	PADDL   X7, X7           // 2 in every lane
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (R8)(CX*4), X1
+	MOVOU (R9)(CX*4), X2
+	PADDL X2, X1
+	PADDL X7, X1
+	PSRAL $2, X1
+	MOVOU (SI)(CX*4), X3
+	PSUBL X1, X3
+	MOVOU X3, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+96(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// addConstI32: dst[i] += k  (DC level shift)
+// ---------------------------------------------------------------------
+
+// func addConstI32AVX2(dst []int32, k int32) (n int)
+TEXT ·addConstI32AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVL k+24(FP), AX
+	MOVQ AX, X0
+	VPBROADCASTD X0, Y0
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (DI)(CX*4), Y1
+	VPADDD  Y0, Y1, Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+32(FP)
+	RET
+
+// func addConstI32SSE2(dst []int32, k int32) (n int)
+TEXT ·addConstI32SSE2(SB), NOSPLIT, $0-40
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVL   k+24(FP), AX
+	MOVQ   AX, X0
+	PSHUFL $0x00, X0, X0
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (DI)(CX*4), X1
+	PADDL X0, X1
+	MOVOU X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+32(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// rctFwd: reversible color transform, in place.
+//   rr,gg,bb = r-off, g-off, b-off
+//   r = (rr + 2*gg + bb) >> 2;  g = bb - gg;  b = rr - gg
+// ---------------------------------------------------------------------
+
+// func rctFwdAVX2(r, g, b []int32, off int32) (n int)
+TEXT ·rctFwdAVX2(SB), NOSPLIT, $0-88
+	MOVQ r_base+0(FP), SI
+	MOVQ r_len+8(FP), DX
+	MOVQ g_base+24(FP), R8
+	MOVQ b_base+48(FP), R9
+	MOVL off+72(FP), AX
+	MOVQ AX, X7
+	VPBROADCASTD X7, Y7
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (SI)(CX*4), Y0
+	VPSUBD  Y7, Y0, Y0       // rr
+	VMOVDQU (R8)(CX*4), Y1
+	VPSUBD  Y7, Y1, Y1       // gg
+	VMOVDQU (R9)(CX*4), Y2
+	VPSUBD  Y7, Y2, Y2       // bb
+	VPADDD  Y1, Y1, Y3       // 2*gg
+	VPADDD  Y0, Y3, Y3
+	VPADDD  Y2, Y3, Y3
+	VPSRAD  $2, Y3, Y3       // y
+	VPSUBD  Y1, Y2, Y4       // cb
+	VPSUBD  Y1, Y0, Y5       // cr
+	VMOVDQU Y3, (SI)(CX*4)
+	VMOVDQU Y4, (R8)(CX*4)
+	VMOVDQU Y5, (R9)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+80(FP)
+	RET
+
+// func rctFwdSSE2(r, g, b []int32, off int32) (n int)
+TEXT ·rctFwdSSE2(SB), NOSPLIT, $0-88
+	MOVQ r_base+0(FP), SI
+	MOVQ r_len+8(FP), DX
+	MOVQ g_base+24(FP), R8
+	MOVQ b_base+48(FP), R9
+	MOVL   off+72(FP), AX
+	MOVQ   AX, X7
+	PSHUFL $0x00, X7, X7
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (SI)(CX*4), X0
+	PSUBL X7, X0             // rr
+	MOVOU (R8)(CX*4), X1
+	PSUBL X7, X1             // gg
+	MOVOU (R9)(CX*4), X2
+	PSUBL X7, X2             // bb
+	MOVOU X1, X3
+	PADDL X1, X3             // 2*gg
+	PADDL X0, X3
+	PADDL X2, X3
+	PSRAL $2, X3             // y
+	MOVOU X2, X4
+	PSUBL X1, X4             // cb
+	MOVOU X0, X5
+	PSUBL X1, X5             // cr
+	MOVOU X3, (SI)(CX*4)
+	MOVOU X4, (R8)(CX*4)
+	MOVOU X5, (R9)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+80(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// Q13 fixed-point lifting. fixMul(k, s) = (k*s + 4096) >> 13 computed
+// as k*(s>>13) + ((k*(s&8191) + 4096) >> 13): exact because
+// k*s = k*sHi*8192 + k*sLo and the first term is a multiple of 8192,
+// and k*sLo fits int32 for the lifting constants (|k| < 2^18). The
+// final sum wraps mod 2^32 exactly like the scalar int32 truncation.
+//   fixAddMul: d[i] += fixMul(k, b[i]+c[i])
+//   fixScale:  dst[i] = fixMul(dst[i], k)
+// ---------------------------------------------------------------------
+
+// func fixAddMulAVX2(d, b, c []int32, k int32) (n int)
+TEXT ·fixAddMulAVX2(SB), NOSPLIT, $0-88
+	MOVQ d_base+0(FP), DI
+	MOVQ d_len+8(FP), DX
+	MOVQ b_base+24(FP), R8
+	MOVQ c_base+48(FP), R9
+	MOVL k+72(FP), AX
+	MOVQ AX, X12
+	VPBROADCASTD X12, Y12
+	VPCMPEQD Y13, Y13, Y13
+	VPSRLD   $19, Y13, Y13   // 8191 = (1<<13)-1
+	VPCMPEQD Y14, Y14, Y14
+	VPSRLD   $31, Y14, Y14
+	VPSLLD   $12, Y14, Y14   // 4096 = 1<<12
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (R8)(CX*4), Y1
+	VPADDD  (R9)(CX*4), Y1, Y1 // s = b + c
+	VPSRAD  $13, Y1, Y2        // sHi
+	VPAND   Y13, Y1, Y3        // sLo
+	VPMULLD Y12, Y2, Y2        // k*sHi (mod 2^32)
+	VPMULLD Y12, Y3, Y3        // k*sLo (exact)
+	VPADDD  Y14, Y3, Y3
+	VPSRAD  $13, Y3, Y3
+	VPADDD  Y3, Y2, Y2
+	VPADDD  (DI)(CX*4), Y2, Y2
+	VMOVDQU Y2, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+80(FP)
+	RET
+
+// func fixAddMulSSE2(d, b, c []int32, k int32) (n int)
+// SSE2 has no packed 32-bit mullo; emulate with PMULULQ (pmuludq) on
+// even/odd lanes and repack the low dwords — low 32 bits of an
+// unsigned product equal the signed mullo.
+TEXT ·fixAddMulSSE2(SB), NOSPLIT, $0-88
+	MOVQ d_base+0(FP), DI
+	MOVQ d_len+8(FP), DX
+	MOVQ b_base+24(FP), R8
+	MOVQ c_base+48(FP), R9
+	MOVL   k+72(FP), AX
+	MOVQ   AX, X12
+	PSHUFL $0x00, X12, X12
+	PCMPEQL X13, X13
+	PSRLL   $19, X13         // 8191
+	PCMPEQL X14, X14
+	PSRLL   $31, X14
+	PSLLL   $12, X14         // 4096
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (R8)(CX*4), X1
+	MOVOU (R9)(CX*4), X0
+	PADDL X0, X1             // s
+	MOVOU X1, X4
+	PSRAL $13, X4            // sHi
+	PAND  X13, X1            // sLo
+
+	MOVOU   X4, X2           // mullo(sHi, k)
+	PSRLQ   $32, X2
+	PMULULQ X12, X4
+	PMULULQ X12, X2
+	PSHUFL  $0x08, X4, X4
+	PSHUFL  $0x08, X2, X2
+	PUNPCKLLQ X2, X4         // X4 = k*sHi
+
+	MOVOU   X1, X2           // mullo(sLo, k)
+	PSRLQ   $32, X2
+	PMULULQ X12, X1
+	PMULULQ X12, X2
+	PSHUFL  $0x08, X1, X1
+	PSHUFL  $0x08, X2, X2
+	PUNPCKLLQ X2, X1         // X1 = k*sLo
+
+	PADDL X14, X1
+	PSRAL $13, X1
+	PADDL X1, X4
+	MOVOU (DI)(CX*4), X0
+	PADDL X4, X0
+	MOVOU X0, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+80(FP)
+	RET
+
+// func fixScaleAVX2(dst []int32, k int32) (n int)
+TEXT ·fixScaleAVX2(SB), NOSPLIT, $0-40
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVL k+24(FP), AX
+	MOVQ AX, X12
+	VPBROADCASTD X12, Y12
+	VPCMPEQD Y13, Y13, Y13
+	VPSRLD   $19, Y13, Y13   // 8191
+	VPCMPEQD Y14, Y14, Y14
+	VPSRLD   $31, Y14, Y14
+	VPSLLD   $12, Y14, Y14   // 4096
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (DI)(CX*4), Y1   // s
+	VPSRAD  $13, Y1, Y2      // sHi
+	VPAND   Y13, Y1, Y3      // sLo
+	VPMULLD Y12, Y2, Y2
+	VPMULLD Y12, Y3, Y3
+	VPADDD  Y14, Y3, Y3
+	VPSRAD  $13, Y3, Y3
+	VPADDD  Y3, Y2, Y2
+	VMOVDQU Y2, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+32(FP)
+	RET
+
+// func fixScaleSSE2(dst []int32, k int32) (n int)
+TEXT ·fixScaleSSE2(SB), NOSPLIT, $0-40
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVL   k+24(FP), AX
+	MOVQ   AX, X12
+	PSHUFL $0x00, X12, X12
+	PCMPEQL X13, X13
+	PSRLL   $19, X13         // 8191
+	PCMPEQL X14, X14
+	PSRLL   $31, X14
+	PSLLL   $12, X14         // 4096
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (DI)(CX*4), X1     // s
+	MOVOU X1, X4
+	PSRAL $13, X4            // sHi
+	PAND  X13, X1            // sLo
+
+	MOVOU   X4, X2
+	PSRLQ   $32, X2
+	PMULULQ X12, X4
+	PMULULQ X12, X2
+	PSHUFL  $0x08, X4, X4
+	PSHUFL  $0x08, X2, X2
+	PUNPCKLLQ X2, X4         // k*sHi
+
+	MOVOU   X1, X2
+	PSRLQ   $32, X2
+	PMULULQ X12, X1
+	PMULULQ X12, X2
+	PSHUFL  $0x08, X1, X1
+	PSHUFL  $0x08, X2, X2
+	PUNPCKLLQ X2, X1         // k*sLo
+
+	PADDL X14, X1
+	PSRAL $13, X1
+	PADDL X1, X4
+	MOVOU X4, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+32(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// absOr: mag[i] = |coef[i]|, returning the running OR of all written
+// magnitudes (bitLen(OR) == bitLen(max), which is all Tier-1 needs).
+// ---------------------------------------------------------------------
+
+// func absOrAVX2(mag []uint32, coef []int32) (n int, or uint32)
+TEXT ·absOrAVX2(SB), NOSPLIT, $0-60
+	MOVQ mag_base+0(FP), DI
+	MOVQ mag_len+8(FP), DX
+	MOVQ coef_base+24(FP), SI
+	VPXOR X0, X0, X0
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VPABSD  (SI)(CX*4), Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	VPOR    Y1, Y0, Y0
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VEXTRACTI128 $1, Y0, X1
+	VPOR    X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VPOR    X1, X0, X0
+	VPSHUFD $0xB1, X0, X1
+	VPOR    X1, X0, X0
+	MOVQ X0, BX
+	MOVL BX, or+56(FP)
+	MOVQ AX, n+48(FP)
+	VZEROUPPER
+	RET
+
+// func absOrSSE2(mag []uint32, coef []int32) (n int, or uint32)
+TEXT ·absOrSSE2(SB), NOSPLIT, $0-60
+	MOVQ mag_base+0(FP), DI
+	MOVQ mag_len+8(FP), DX
+	MOVQ coef_base+24(FP), SI
+	PXOR X0, X0
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (SI)(CX*4), X1
+	MOVOU X1, X2
+	PSRAL $31, X2            // sign mask
+	PXOR  X2, X1
+	PSUBL X2, X1             // |coef|
+	MOVOU X1, (DI)(CX*4)
+	POR   X1, X0
+	ADDQ $4, CX
+	JMP  loop
+done:
+	PSHUFL $0x4E, X0, X1
+	POR    X1, X0
+	PSHUFL $0xB1, X0, X1
+	POR    X1, X0
+	MOVQ X0, BX
+	MOVL BX, or+56(FP)
+	MOVQ AX, n+48(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// orU32: dst[i] |= src[i]  (stripe OR accumulation)
+// ---------------------------------------------------------------------
+
+// func orU32AVX2(dst, src []uint32) (n int)
+TEXT ·orU32AVX2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ src_base+24(FP), SI
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (SI)(CX*4), Y1
+	VPOR    (DI)(CX*4), Y1, Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+48(FP)
+	RET
+
+// func orU32SSE2(dst, src []uint32) (n int)
+TEXT ·orU32SSE2(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ src_base+24(FP), SI
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (SI)(CX*4), X1
+	MOVOU (DI)(CX*4), X2
+	POR   X2, X1
+	MOVOU X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+48(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// signOr: flags[i] |= bit where coef[i] < 0
+// ---------------------------------------------------------------------
+
+// func signOrAVX2(flags []uint32, coef []int32, bit uint32) (n int)
+TEXT ·signOrAVX2(SB), NOSPLIT, $0-64
+	MOVQ flags_base+0(FP), DI
+	MOVQ flags_len+8(FP), DX
+	MOVQ coef_base+24(FP), SI
+	MOVL bit+48(FP), AX
+	MOVQ AX, X2
+	VPBROADCASTD X2, Y2
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (SI)(CX*4), Y1
+	VPSRAD  $31, Y1, Y1      // all-ones where negative
+	VPAND   Y2, Y1, Y1
+	VPOR    (DI)(CX*4), Y1, Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+56(FP)
+	RET
+
+// func signOrSSE2(flags []uint32, coef []int32, bit uint32) (n int)
+TEXT ·signOrSSE2(SB), NOSPLIT, $0-64
+	MOVQ flags_base+0(FP), DI
+	MOVQ flags_len+8(FP), DX
+	MOVQ coef_base+24(FP), SI
+	MOVL   bit+48(FP), AX
+	MOVQ   AX, X2
+	PSHUFL $0x00, X2, X2
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (SI)(CX*4), X1
+	PSRAL $31, X1
+	PAND  X2, X1
+	MOVOU (DI)(CX*4), X3
+	POR   X3, X1
+	MOVOU X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+56(FP)
+	RET

@@ -1,0 +1,130 @@
+package simd
+
+// Pure-Go reference loops: the oracle every vector kernel must match
+// bit for bit, and the fallback for tails, the noasm build, and
+// J2K_NOSIMD. These bodies are the original hot loops of the dwt, mct,
+// quant, and t1 packages, moved here verbatim so the dispatch wrappers
+// can finish rows the vector kernels leave unprocessed.
+
+func scalarAddMulF32(dst, a, b, c []float32, k float32) {
+	for i := range dst {
+		dst[i] = a[i] + k*(b[i]+c[i])
+	}
+}
+
+func scalarAddMulScaleF32(s, b, c []float32, k, scale float32) {
+	for i := range s {
+		s[i] = (s[i] + k*(b[i]+c[i])) * scale
+	}
+}
+
+func scalarMulConstF32(dst, src []float32, k float32) {
+	for i := range dst {
+		dst[i] = src[i] * k
+	}
+}
+
+func scalarQuantF32(dst []int32, src []float32, inv float32) {
+	for i, v := range src {
+		if v >= 0 {
+			dst[i] = int32(v * inv)
+		} else {
+			dst[i] = -int32(-v * inv)
+		}
+	}
+}
+
+func scalarICTFwd(r, g, b []int32, y, cb, cr []float32, p *ICTParams) {
+	for i := range r {
+		rr, gg, bb := float32(r[i])-p.Off, float32(g[i])-p.Off, float32(b[i])-p.Off
+		y[i] = p.YR*rr + p.YG*gg + p.YB*bb
+		cb[i] = p.CbR*rr + p.CbG*gg + p.CbB*bb
+		cr[i] = p.CrR*rr + p.CrG*gg + p.CrB*bb
+	}
+}
+
+func scalarAddShr1I32(dst, a, b, c []int32) {
+	for i := range dst {
+		dst[i] = a[i] + ((b[i] + c[i]) >> 1)
+	}
+}
+
+func scalarSubShr1I32(dst, a, b, c []int32) {
+	for i := range dst {
+		dst[i] = a[i] - ((b[i] + c[i]) >> 1)
+	}
+}
+
+func scalarAddShr2I32(dst, a, b, c []int32) {
+	for i := range dst {
+		dst[i] = a[i] + ((b[i] + c[i] + 2) >> 2)
+	}
+}
+
+func scalarSubShr2I32(dst, a, b, c []int32) {
+	for i := range dst {
+		dst[i] = a[i] - ((b[i] + c[i] + 2) >> 2)
+	}
+}
+
+func scalarAddConstI32(dst []int32, k int32) {
+	for i := range dst {
+		dst[i] += k
+	}
+}
+
+func scalarRCTFwd(r, g, b []int32, off int32) {
+	for i := range r {
+		rr, gg, bb := r[i]-off, g[i]-off, b[i]-off
+		y := (rr + 2*gg + bb) >> 2
+		cb := bb - gg
+		cr := rr - gg
+		r[i], g[i], b[i] = y, cb, cr
+	}
+}
+
+// fixMul13 is JasPer's Q13 multiply with rounding, identical to
+// dwt.fixMul.
+func fixMul13(a, b int32) int32 {
+	return int32((int64(a)*int64(b) + (1 << (FixShift - 1))) >> FixShift)
+}
+
+func scalarFixAddMul(d, b, c []int32, k int32) {
+	for i := range d {
+		d[i] += fixMul13(k, b[i]+c[i])
+	}
+}
+
+func scalarFixScale(dst []int32, k int32) {
+	for i := range dst {
+		dst[i] = fixMul13(dst[i], k)
+	}
+}
+
+func scalarAbsOr(mag []uint32, coef []int32) uint32 {
+	var or uint32
+	for i := range mag {
+		v := coef[i]
+		m := uint32(v)
+		if v < 0 {
+			m = uint32(-v)
+		}
+		mag[i] = m
+		or |= m
+	}
+	return or
+}
+
+func scalarOrU32(dst, src []uint32) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+func scalarSignOr(flags []uint32, coef []int32, bit uint32) {
+	for i := range flags {
+		if coef[i] < 0 {
+			flags[i] |= bit
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package simd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: every vector kernel set must match the scalar
+// oracle bit for bit on every length (including 0, 1, and odd tails)
+// and at unaligned slice offsets. Lengths cross the 4- and 8-lane
+// boundaries so both the vector body and the scalar tail are exercised.
+
+var testLengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 100, 257, 1024}
+
+// vectorSets returns every non-scalar kernel set available on this
+// host. Empty on noasm builds or non-amd64 — the tests then pass
+// trivially, which is correct: there is nothing to differ.
+func vectorSets() []*kernels {
+	var out []*kernels
+	for _, ks := range available {
+		if ks != &scalarSet {
+			out = append(out, ks)
+		}
+	}
+	return out
+}
+
+func randF32(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		switch rng.Intn(10) {
+		case 0:
+			s[i] = 0
+		case 1:
+			s[i] = float32(math.Inf(1))
+		default:
+			s[i] = (rng.Float32() - 0.5) * 4096
+		}
+	}
+	return s
+}
+
+func randI32(rng *rand.Rand, n int, max int32) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = int32(rng.Int63n(int64(max)*2+1) - int64(max))
+	}
+	return s
+}
+
+// off slices a buffer at a deliberately unaligned element offset so
+// vector loads hit addresses that are not 16- or 32-byte aligned.
+func offF32(s []float32) []float32 { return append(make([]float32, 3), s...)[3:] }
+func offI32(s []int32) []int32     { return append(make([]int32, 3), s...)[3:] }
+func offU32(s []uint32) []uint32   { return append(make([]uint32, 3), s...)[3:] }
+
+func eqF32(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: [%d] = %x (%v), want %x (%v)", name, i,
+				math.Float32bits(got[i]), got[i], math.Float32bits(want[i]), want[i])
+		}
+	}
+}
+
+func eqI32(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+func eqU32(t *testing.T, name string, got, want []uint32) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %#x, want %#x", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddMulF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			a, b, c := randF32(rng, n), randF32(rng, n), randF32(rng, n)
+			want := make([]float32, n)
+			scalarAddMulF32(want, a, b, c, float32(-1.586134342))
+			got := offF32(make([]float32, n))
+			if m := ks.addMulF32(got, a, b, c, float32(-1.586134342)); m >= 0 {
+				scalarAddMulF32(got[m:], a[m:], b[m:], c[m:], float32(-1.586134342))
+			}
+			eqF32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestAddMulF32Aliased(t *testing.T) {
+	// The dwt call sites alias dst with a and b with c (the lifting
+	// tail steps); verify the kernels tolerate full aliasing.
+	rng := rand.New(rand.NewSource(2))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			d0, e0 := randF32(rng, n), randF32(rng, n)
+			want := append([]float32(nil), d0...)
+			scalarAddMulF32(want, want, e0, e0, 0.25)
+			got := append([]float32(nil), d0...)
+			m := ks.addMulF32(got, got, e0, e0, 0.25)
+			scalarAddMulF32(got[m:], got[m:], e0[m:], e0[m:], 0.25)
+			eqF32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestAddMulScaleF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			s0, b, c := randF32(rng, n), randF32(rng, n), randF32(rng, n)
+			want := append([]float32(nil), s0...)
+			scalarAddMulScaleF32(want, b, c, 0.4435068522, 1.2301741)
+			got := offF32(append([]float32(nil), s0...))
+			m := ks.addMulScaleF32(got, b, c, 0.4435068522, 1.2301741)
+			scalarAddMulScaleF32(got[m:], b[m:], c[m:], 0.4435068522, 1.2301741)
+			eqF32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestMulConstF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			src := randF32(rng, n)
+			want := make([]float32, n)
+			scalarMulConstF32(want, src, 0.8128930655)
+			got := offF32(make([]float32, n))
+			m := ks.mulConstF32(got, src, 0.8128930655)
+			scalarMulConstF32(got[m:], src[m:], 0.8128930655)
+			eqF32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestQuantF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			src := randF32(rng, n)
+			if n > 2 {
+				src[0] = float32(math.Inf(1))  // overflow lane
+				src[1] = float32(math.Inf(-1)) // negative overflow
+				src[2] = float32(math.NaN())
+			}
+			want := make([]int32, n)
+			scalarQuantF32(want, src, 1.0/0.0009765625)
+			got := offI32(make([]int32, n))
+			m := ks.quantF32(got, src, 1.0/0.0009765625)
+			scalarQuantF32(got[m:], src[m:], 1.0/0.0009765625)
+			eqI32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestICTFwd(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := &ICTParams{
+		Off: 128,
+		YR:  0.299, YG: 0.587, YB: 0.114,
+		CbR: -0.168736, CbG: -0.331264, CbB: 0.5,
+		CrR: 0.5, CrG: -0.418688, CrB: -0.081312,
+	}
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			r, g, b := randI32(rng, n, 255), randI32(rng, n, 255), randI32(rng, n, 255)
+			wy, wcb, wcr := make([]float32, n), make([]float32, n), make([]float32, n)
+			scalarICTFwd(r, g, b, wy, wcb, wcr, p)
+			gy, gcb, gcr := offF32(make([]float32, n)), offF32(make([]float32, n)), offF32(make([]float32, n))
+			m := ks.ictFwd(r, g, b, gy, gcb, gcr, p)
+			scalarICTFwd(r[m:], g[m:], b[m:], gy[m:], gcb[m:], gcr[m:], p)
+			eqF32(t, fmt.Sprintf("%s/y/n=%d", ks.name, n), gy, wy)
+			eqF32(t, fmt.Sprintf("%s/cb/n=%d", ks.name, n), gcb, wcb)
+			eqF32(t, fmt.Sprintf("%s/cr/n=%d", ks.name, n), gcr, wcr)
+		}
+	}
+}
+
+func TestShr12Kernels(t *testing.T) {
+	type kcase struct {
+		name   string
+		scalar func(dst, a, b, c []int32)
+		vec    func(ks *kernels) func(dst, a, b, c []int32) int
+	}
+	cases := []kcase{
+		{"addShr1", scalarAddShr1I32, func(ks *kernels) func(dst, a, b, c []int32) int { return ks.addShr1I32 }},
+		{"subShr1", scalarSubShr1I32, func(ks *kernels) func(dst, a, b, c []int32) int { return ks.subShr1I32 }},
+		{"addShr2", scalarAddShr2I32, func(ks *kernels) func(dst, a, b, c []int32) int { return ks.addShr2I32 }},
+		{"subShr2", scalarSubShr2I32, func(ks *kernels) func(dst, a, b, c []int32) int { return ks.subShr2I32 }},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range cases {
+		for _, ks := range vectorSets() {
+			for _, n := range testLengths {
+				// Include values near the int32 extremes to pin wrap
+				// behavior, matching Go's signed overflow semantics.
+				a, b, c := randI32(rng, n, 1<<20), randI32(rng, n, 1<<20), randI32(rng, n, 1<<20)
+				if n > 1 {
+					b[0], c[0] = math.MaxInt32, math.MaxInt32
+					b[1], c[1] = math.MinInt32, math.MinInt32
+				}
+				want := make([]int32, n)
+				tc.scalar(want, a, b, c)
+				got := offI32(make([]int32, n))
+				m := tc.vec(ks)(got, a, b, c)
+				tc.scalar(got[m:], a[m:], b[m:], c[m:])
+				eqI32(t, fmt.Sprintf("%s/%s/n=%d", tc.name, ks.name, n), got, want)
+			}
+		}
+	}
+}
+
+func TestAddConstI32(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			base := randI32(rng, n, 1<<24)
+			want := append([]int32(nil), base...)
+			scalarAddConstI32(want, -128)
+			got := offI32(append([]int32(nil), base...))
+			m := ks.addConstI32(got, -128)
+			scalarAddConstI32(got[m:], -128)
+			eqI32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestRCTFwd(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			r0, g0, b0 := randI32(rng, n, 255), randI32(rng, n, 255), randI32(rng, n, 255)
+			wr, wg, wb := append([]int32(nil), r0...), append([]int32(nil), g0...), append([]int32(nil), b0...)
+			scalarRCTFwd(wr, wg, wb, 128)
+			gr, gg, gb := offI32(append([]int32(nil), r0...)), offI32(append([]int32(nil), g0...)), offI32(append([]int32(nil), b0...))
+			m := ks.rctFwd(gr, gg, gb, 128)
+			scalarRCTFwd(gr[m:], gg[m:], gb[m:], 128)
+			eqI32(t, fmt.Sprintf("%s/r/n=%d", ks.name, n), gr, wr)
+			eqI32(t, fmt.Sprintf("%s/g/n=%d", ks.name, n), gg, wg)
+			eqI32(t, fmt.Sprintf("%s/b/n=%d", ks.name, n), gb, wb)
+		}
+	}
+}
+
+// fixKs are the Q13 lifting/scaling constants actually used by the
+// fixed-point 9/7 path, plus sign variants. All satisfy |k| < 2^18,
+// the precondition of the vector fixMul decomposition.
+var fixKs = []int32{-12994, -434, 7233, 3633, 13318, 5038, 8192, -8192, 1, -1}
+
+func TestFixAddMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, ks := range vectorSets() {
+		for _, k := range fixKs {
+			for _, n := range testLengths {
+				d0 := randI32(rng, n, 1<<26)
+				b, c := randI32(rng, n, 1<<26), randI32(rng, n, 1<<26)
+				want := append([]int32(nil), d0...)
+				scalarFixAddMul(want, b, c, k)
+				got := offI32(append([]int32(nil), d0...))
+				m := ks.fixAddMul(got, b, c, k)
+				scalarFixAddMul(got[m:], b[m:], c[m:], k)
+				eqI32(t, fmt.Sprintf("%s/k=%d/n=%d", ks.name, k, n), got, want)
+			}
+		}
+	}
+}
+
+func TestFixScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, ks := range vectorSets() {
+		for _, k := range fixKs {
+			for _, n := range testLengths {
+				d0 := randI32(rng, n, 1<<28)
+				want := append([]int32(nil), d0...)
+				scalarFixScale(want, k)
+				got := offI32(append([]int32(nil), d0...))
+				m := ks.fixScale(got, k)
+				scalarFixScale(got[m:], k)
+				eqI32(t, fmt.Sprintf("%s/k=%d/n=%d", ks.name, k, n), got, want)
+			}
+		}
+	}
+}
+
+func TestAbsOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			coef := randI32(rng, n, 1<<30)
+			if n > 0 {
+				coef[0] = math.MinInt32 // |MinInt32| wraps to 0x80000000, same both ways
+			}
+			want := make([]uint32, n)
+			wantOr := scalarAbsOr(want, coef)
+			got := offU32(make([]uint32, n))
+			m, or := ks.absOr(got, coef)
+			or |= scalarAbsOr(got[m:], coef[m:])
+			eqU32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+			if or != wantOr {
+				t.Fatalf("%s/n=%d: or = %#x, want %#x", ks.name, n, or, wantOr)
+			}
+		}
+	}
+}
+
+func TestOrU32(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			d0 := make([]uint32, n)
+			src := make([]uint32, n)
+			for i := range d0 {
+				d0[i], src[i] = rng.Uint32(), rng.Uint32()
+			}
+			want := append([]uint32(nil), d0...)
+			scalarOrU32(want, src)
+			got := offU32(append([]uint32(nil), d0...))
+			m := ks.orU32(got, src)
+			scalarOrU32(got[m:], src[m:])
+			eqU32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestSignOr(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const bit = 1 << 6
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			coef := randI32(rng, n, 1<<30)
+			f0 := make([]uint32, n)
+			for i := range f0 {
+				f0[i] = rng.Uint32() &^ uint32(bit)
+			}
+			want := append([]uint32(nil), f0...)
+			scalarSignOr(want, coef, bit)
+			got := offU32(append([]uint32(nil), f0...))
+			m := ks.signOr(got, coef, bit)
+			scalarSignOr(got[m:], coef[m:], bit)
+			eqU32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+// TestExportedWrappersUseActive pins that the exported row functions
+// agree with the scalar oracle under every selectable kernel set,
+// driving the same dispatch path production code uses.
+func TestExportedWrappersUseActive(t *testing.T) {
+	prev := Kernel()
+	defer Use(prev)
+	rng := rand.New(rand.NewSource(15))
+	for _, name := range Available() {
+		if err := Use(name); err != nil {
+			t.Fatal(err)
+		}
+		n := 53 // odd: vector body + tail
+		a, b, c := randF32(rng, n), randF32(rng, n), randF32(rng, n)
+		want := make([]float32, n)
+		scalarAddMulF32(want, a, b, c, 0.25)
+		got := make([]float32, n)
+		AddMulRow(got, a, b, c, 0.25)
+		eqF32(t, "AddMulRow/"+name, got, want)
+
+		d := randI32(rng, n, 1<<26)
+		wantI := append([]int32(nil), d...)
+		scalarFixScale(wantI, -12994)
+		gotI := append([]int32(nil), d...)
+		FixScaleRow(gotI, -12994)
+		eqI32(t, "FixScaleRow/"+name, gotI, wantI)
+	}
+}
+
+func TestUseRejectsUnknown(t *testing.T) {
+	if err := Use("altivec"); err == nil {
+		t.Fatal("Use(altivec) should fail")
+	}
+}
+
+func TestKernelReportsName(t *testing.T) {
+	names := Available()
+	if len(names) == 0 {
+		t.Fatal("no kernel sets available")
+	}
+	if names[0] != "scalar" {
+		t.Fatalf("first available set = %q, want scalar", names[0])
+	}
+	cur := Kernel()
+	found := false
+	for _, n := range names {
+		if n == cur {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active kernel %q not in available set %v", cur, names)
+	}
+}

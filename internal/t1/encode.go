@@ -4,6 +4,7 @@ import (
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/mq"
 	"j2kcell/internal/obs"
+	"j2kcell/internal/simd"
 )
 
 // encoder drives the three coding passes over a block.
@@ -63,30 +64,25 @@ func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain f
 		e.ops = make([]uint8, 0, n)
 	}
 
-	// One traversal loads magnitudes and signs, builds the stripe OR
-	// masks, and accumulates the base distortion (the summation order is
-	// the magnitude index order, as before).
+	// The load traversal runs row-kernels from the simd layer: magnitudes
+	// plus a running OR (bitLen(OR) == bitLen(max), which is all numBPS
+	// needs), the stripe OR masks, and the sign flags. The distortion sum
+	// stays a scalar pass in magnitude index order — float accumulation
+	// order is part of the codestream contract via PCRD.
 	gain2 := gain * gain
-	maxMag := uint32(0)
+	orAll := uint32(0)
 	dist0 := 0.0
 	for y := 0; y < h; y++ {
-		sRow := (y / 4) * w
-		for x := 0; x < w; x++ {
-			v := coef[y*stride+x]
-			m := uint32(v)
-			if v < 0 {
-				m = uint32(-v)
-				c.flags[c.fidx(x, y)] |= fwNeg
-			}
-			c.mag[y*w+x] = m
-			e.stripeOR[sRow+x] |= m
-			if m > maxMag {
-				maxMag = m
-			}
+		coefRow := coef[y*stride : y*stride+w]
+		magRow := c.mag[y*w : y*w+w]
+		orAll |= simd.AbsOrRow(magRow, coefRow)
+		simd.OrRow(e.stripeOR[(y/4)*w:(y/4)*w+w], magRow)
+		simd.SignOrRow(c.flags[c.fidx(0, y):c.fidx(0, y)+w], coefRow, fwNeg)
+		for _, m := range magRow {
 			dist0 += float64(m) * float64(m) * gain2
 		}
 	}
-	numBPS := bitLen(maxMag)
+	numBPS := bitLen(orAll)
 	blk := &Block{W: w, H: h, Orient: orient, NumBPS: numBPS, Mode: mode, Dist0: dist0}
 	if numBPS == 0 {
 		return blk

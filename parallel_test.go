@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+
+	"j2kcell/internal/simd"
 )
 
 // parallelCases is the determinism matrix: {lossless, lossy} ×
@@ -47,6 +49,46 @@ func TestEncodeParallelDeterminism(t *testing.T) {
 							len(par), len(seq))
 					}
 				})
+			}
+		})
+	}
+}
+
+// TestEncodeKernelSetsDeterminism extends the matrix along the ISA
+// axis: every selectable simd kernel set (scalar, and sse2/avx2 where
+// the CPU has them) must produce the byte-identical codestream at
+// every worker count. This is the executable form of the kernels'
+// bit-identity contract — forcing scalar here is equivalent to running
+// with J2K_NOSIMD=1 or the noasm build tag.
+func TestEncodeKernelSetsDeterminism(t *testing.T) {
+	prev := simd.Kernel()
+	defer simd.Use(prev)
+	img := TestImage(97, 61, 7)
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := simd.Use("scalar"); err != nil {
+				t.Fatal(err)
+			}
+			ref, _, err := Encode(img, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kern := range simd.Available() {
+				if err := simd.Use(kern); err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range workerCounts() {
+					t.Run(fmt.Sprintf("%s-workers-%d", kern, w), func(t *testing.T) {
+						got, _, err := EncodeParallel(img, tc.opt, w)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(got, ref) {
+							t.Fatalf("kernel set %q stream differs from scalar (%d vs %d bytes)",
+								kern, len(got), len(ref))
+						}
+					})
+				}
 			}
 		})
 	}
