@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json trace check
+.PHONY: build test race vet bench bench-json trace fuzz check
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkTable1' -benchmem . >> bench/current.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
+
+# fuzz runs each decoder fuzz target for FUZZTIME (the CI robustness
+# job uses 30s each; raise it for longer local campaigns). The -fuzz
+# patterns are anchored because the package has multiple targets.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/codec/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/codec/ -run '^$$' -fuzz '^FuzzDecodeHeaders$$' -fuzztime=$(FUZZTIME)
 
 # trace produces sample Chrome traces (open in chrome://tracing or
 # ui.perfetto.dev): the native encoder with one track per worker, and

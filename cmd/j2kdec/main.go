@@ -1,6 +1,12 @@
 // Command j2kdec decodes a JPEG2000 codestream produced by this
 // library back to a raster image (BMP, or PGM/PPM by extension),
 // verifying the full Tier-2 → Tier-1 → inverse DWT → inverse MCT path.
+//
+// Untrusted inputs are bounded two ways: -max-pixels / -max-dim cap
+// what the stream's header may declare (rejected before allocation),
+// and -timeout bounds wall time. Exit codes distinguish the failure:
+// 1 I/O, 2 usage, 3 malformed/over-limit stream, 4 contained codec
+// fault, 5 timeout.
 package main
 
 import (
@@ -12,21 +18,33 @@ import (
 
 	"j2kcell"
 	"j2kcell/internal/bmp"
+	"j2kcell/internal/cli"
 	"j2kcell/internal/pnm"
 )
 
 func main() {
 	in := flag.String("in", "", "input .j2c codestream")
 	out := flag.String("out", "out.bmp", "output image (.bmp, .pgm or .ppm)")
+	workers := flag.Int("workers", 0, "Tier-1 decode workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the decode after this long (0 = no limit)")
+	maxPixels := flag.Int64("max-pixels", 0, "reject headers declaring more than this many samples (0 = library default)")
+	maxDim := flag.Int("max-dim", 0, "reject headers wider or taller than this (0 = library default)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "j2kdec: need -in file.j2c")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	data, err := os.ReadFile(*in)
 	check(err)
-	img, err := j2kcell.Decode(data)
+
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
+	img, err := j2kcell.DecodeWithContext(ctx, data, j2kcell.DecodeOptions{
+		Workers: *workers,
+		Limits:  cli.Limits(*maxPixels, *maxDim),
+	})
 	check(err)
+
 	f, err := os.Create(*out)
 	check(err)
 	defer f.Close()
@@ -51,6 +69,6 @@ func main() {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "j2kdec:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }

@@ -25,6 +25,7 @@ import (
 
 	"j2kcell"
 	"j2kcell/internal/bmp"
+	"j2kcell/internal/cli"
 	"j2kcell/internal/obs"
 	"j2kcell/internal/pnm"
 	"j2kcell/internal/simd"
@@ -43,6 +44,7 @@ func main() {
 	report := flag.Bool("report", false, "print the per-stage wall-time / serial-fraction table")
 	metrics := flag.Bool("metrics", false, "print the counter and histogram table after encoding")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
+	timeout := flag.Duration("timeout", 0, "abort the encode after this long (0 = no limit; exit code 5 on expiry)")
 	flag.Parse()
 
 	var img *j2kcell.Image
@@ -88,8 +90,10 @@ func main() {
 		}()
 	}
 
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
 	start := time.Now()
-	data, stats, err := j2kcell.EncodeParallel(img, opt, *workers)
+	data, stats, err := j2kcell.EncodeParallelContext(ctx, img, opt, *workers)
 	check(err)
 	if strings.ToLower(filepath.Ext(*out)) == ".jp2" {
 		data = j2kcell.WrapJP2(img, data)
@@ -125,6 +129,6 @@ func main() {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "j2kenc:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }

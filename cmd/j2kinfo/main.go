@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"j2kcell/internal/cli"
 	"j2kcell/internal/codec"
 )
 
@@ -15,14 +16,16 @@ func main() {
 	in := flag.String("in", "", "input .j2c codestream")
 	packets := flag.Bool("packets", false, "list every packet")
 	stats := flag.Bool("stats", false, "per-subband and per-layer byte breakdown, marker segment sizes")
+	maxPixels := flag.Int64("max-pixels", 0, "reject headers declaring more than this many samples (0 = library default)")
+	maxDim := flag.Int("max-dim", 0, "reject headers wider or taller than this (0 = library default)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "j2kinfo: need -in file.j2c")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	data, err := os.ReadFile(*in)
 	check(err)
-	info, err := codec.Inspect(data)
+	info, err := codec.InspectLimits(data, *cli.Limits(*maxPixels, *maxDim))
 	check(err)
 
 	h := info.Header
@@ -110,6 +113,6 @@ func printStats(info *codec.StreamInfo, total int) {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "j2kinfo:", err)
-		os.Exit(1)
+		os.Exit(cli.ExitCode(err))
 	}
 }

@@ -2,15 +2,27 @@
 // on synthetic workloads and prints a pass/fail report: lossless
 // bit-exactness, rate-budget compliance, progression correctness,
 // encoder byte-identity across the sequential, goroutine-parallel and
-// Cell-simulated paths. Intended as a post-install smoke test.
+// Cell-simulated paths, plus the robustness contract (header limits,
+// cancellation, fault containment). Intended as a post-install smoke
+// test.
+//
+// -timeout bounds each individual check; a hung check fails the run
+// with exit code 5. Exit codes: 0 all pass, 1 check failure, 5 a
+// check timed out.
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"j2kcell"
+	"j2kcell/internal/cli"
+	"j2kcell/internal/codestream"
+	"j2kcell/internal/faults"
 )
 
 type check struct {
@@ -18,9 +30,28 @@ type check struct {
 	fn   func() error
 }
 
+// bombStream builds a well-formed codestream whose SIZ declares a
+// 2^20 × 2^20 image — the decompression-bomb probe.
+func bombStream() []byte {
+	mb := make([]int, 16)
+	for i := range mb {
+		mb[i] = 8
+	}
+	return codestream.Encode(&codestream.Header{
+		W: 1 << 20, H: 1 << 20, NComp: 1, Depth: 8,
+		Levels: 5, CBW: 64, CBH: 64, Layers: 1,
+		Lossless: true, Mb: [][]int{mb},
+	}, nil)
+}
+
 func main() {
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-check watchdog (0 = no limit; exit code 5 on expiry)")
+	maxPixels := flag.Int64("max-pixels", 0, "decoder pixel budget used by the checks (0 = library default)")
+	flag.Parse()
+
 	img := j2kcell.TestImage(256, 192, 99)
 	raw := img.W * img.H * len(img.Comps)
+	limits := cli.Limits(*maxPixels, 0)
 
 	checks := []check{
 		{"lossless round trip is bit exact", func() error {
@@ -147,16 +178,50 @@ func main() {
 			}
 			return nil
 		}},
+		{"gigapixel header rejected as FormatError", func() error {
+			_, err := j2kcell.DecodeWithContext(context.Background(), bombStream(),
+				j2kcell.DecodeOptions{Limits: limits})
+			var fe *j2kcell.FormatError
+			if !errors.As(err, &fe) {
+				return fmt.Errorf("got %v, want *FormatError", err)
+			}
+			return nil
+		}},
+		{"cancelled encode returns context.Canceled", func() error {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			_, _, err := j2kcell.EncodeParallelContext(ctx, img, j2kcell.Options{Lossless: true}, 4)
+			if !errors.Is(err, context.Canceled) {
+				return fmt.Errorf("got %v, want context.Canceled", err)
+			}
+			return nil
+		}},
+		{"injected stage panic contained as FaultError", func() error {
+			faults.Arm("t1", 1, faults.Panic)
+			defer faults.Disarm()
+			_, _, err := j2kcell.EncodeParallel(img, j2kcell.Options{Lossless: true}, 4)
+			var fe *j2kcell.FaultError
+			if !errors.As(err, &fe) {
+				return fmt.Errorf("got %v, want *FaultError", err)
+			}
+			if fe.Stage != "t1" {
+				return fmt.Errorf("fault stage %q, want t1", fe.Stage)
+			}
+			return nil
+		}},
 	}
 
-	failed := 0
+	failed, timedOut := 0, 0
 	for _, c := range checks {
 		start := time.Now()
-		err := c.fn()
+		err := runChecked(c.fn, *timeout)
 		status := "ok  "
 		if err != nil {
 			status = "FAIL"
 			failed++
+			if errors.Is(err, context.DeadlineExceeded) {
+				timedOut++
+			}
 		}
 		fmt.Printf("%s  %-45s %8v", status, c.name, time.Since(start).Round(time.Millisecond))
 		if err != nil {
@@ -166,7 +231,27 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Printf("%d of %d checks failed\n", failed, len(checks))
-		os.Exit(1)
+		if timedOut > 0 {
+			os.Exit(cli.ExitTimeout)
+		}
+		os.Exit(cli.ExitError)
 	}
 	fmt.Printf("all %d checks passed\n", len(checks))
+}
+
+// runChecked runs fn under the watchdog. A check that outlives the
+// timeout is reported as DeadlineExceeded; its goroutine is abandoned
+// (the process exits shortly after anyway).
+func runChecked(fn func() error, timeout time.Duration) error {
+	if timeout <= 0 {
+		return fn()
+	}
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("check watchdog: %w", context.DeadlineExceeded)
+	}
 }

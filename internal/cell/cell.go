@@ -157,6 +157,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 // MustMachine is NewMachine for known-good configs (tests, benchmarks).
 func MustMachine(cfg Config) *Machine {
 	m, err := NewMachine(cfg)
+	// invariant: Must-style helper for hard-coded configs; external
+	// configuration goes through NewMachine's error return instead.
 	if err != nil {
 		panic(err)
 	}
@@ -237,6 +239,9 @@ func NewLocalStore() *LocalStore { return &LocalStore{} }
 // alloc reserves n bytes, 16-byte aligned, and returns the LS address.
 func (ls *LocalStore) alloc(n int) int64 {
 	off := (ls.used + 15) &^ 15
+	// invariant: buffer budgets are sized by the decomposition planner to
+	// fit the 256 KB LS; overflow means the planner's math is wrong — the
+	// same hard fault real SPE code would take.
 	if off+n > LSSize {
 		panic(fmt.Sprintf("cell: Local Store overflow: %d used, %d requested (capacity %d)", off, n, LSSize))
 	}

@@ -82,6 +82,9 @@ func (s *SPE) issue(p *sim.Proc) {
 // so that a kernel reading a buffer before waiting on its tag sees
 // stale data, just as on hardware.
 func (s *SPE) dma(p *sim.Proc, ea, lsa, bytes int64, deliver func()) *sim.Completion {
+	// invariant: DMA addresses come from the library's own allocators
+	// (AllocEA, LocalStore.alloc), which align everything; a misaligned
+	// command is a kernel-code bug the model surfaces like hardware would.
 	if err := checkAlign(ea, lsa, bytes); err != nil {
 		panic(err)
 	}
@@ -123,6 +126,8 @@ func (s *SPE) dma(p *sim.Proc, ea, lsa, bytes int64, deliver func()) *sim.Comple
 // are split into multiple commands, as real SPE code must do; the
 // returned completion is the last command's.
 func GetAsync[T Word](p *sim.Proc, s *SPE, dst []T, dstLSA int64, src []T, srcEA int64) *sim.Completion {
+	// invariant: both slices are carved from geometry computed by the
+	// decomposition planner; a mismatch is a kernel bug, not input.
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("cell: GetAsync length mismatch: dst %d, src %d", len(dst), len(src)))
 	}
@@ -150,6 +155,7 @@ func GetAsync[T Word](p *sim.Proc, s *SPE, dst []T, dstLSA int64, src []T, srcEA
 // buffer with an outstanding put anyway, and the double-buffered kernels
 // in this library wait on the tag before reuse.
 func PutAsync[T Word](p *sim.Proc, s *SPE, dst []T, dstEA int64, src []T, srcLSA int64) *sim.Completion {
+	// invariant: same planner-derived geometry contract as GetAsync.
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("cell: PutAsync length mismatch: dst %d, src %d", len(dst), len(src)))
 	}

@@ -1,0 +1,65 @@
+// Package cli holds the plumbing shared by the j2k* commands: the
+// exit-code convention that lets scripts distinguish the codec's
+// failure classes, and flag helpers for timeouts and decoder limits.
+package cli
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"j2kcell"
+)
+
+// Exit codes of the j2k* commands. Scripts can branch on the class of
+// failure without parsing stderr.
+const (
+	ExitOK      = 0 // success
+	ExitError   = 1 // I/O and other untyped failures
+	ExitUsage   = 2 // bad flags or arguments
+	ExitFormat  = 3 // malformed, truncated, or limit-exceeding codestream
+	ExitFault   = 4 // contained codec fault (a bug, not bad input)
+	ExitTimeout = 5 // -timeout exceeded or operation cancelled
+)
+
+// ExitCode maps an error to the shared exit-code convention.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return ExitTimeout
+	}
+	var fault *j2kcell.FaultError
+	if errors.As(err, &fault) {
+		return ExitFault
+	}
+	var format *j2kcell.FormatError
+	if errors.As(err, &format) {
+		return ExitFormat
+	}
+	return ExitError
+}
+
+// Context returns a context honoring a -timeout flag value (<= 0 means
+// no timeout). The CancelFunc is always non-nil.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// Limits builds decoder limits from the -max-pixels and -max-dim flag
+// values, starting from the library defaults (<= 0 keeps the default
+// for that axis).
+func Limits(maxPixels int64, maxDim int) *j2kcell.Limits {
+	lim := j2kcell.DefaultLimits()
+	if maxPixels > 0 {
+		lim.MaxPixels = maxPixels
+	}
+	if maxDim > 0 {
+		lim.MaxWidth, lim.MaxHeight = maxDim, maxDim
+	}
+	return &lim
+}

@@ -1,0 +1,127 @@
+package codec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"j2kcell/internal/workload"
+)
+
+// TestPreCancelledContextReturnsImmediately pins the entry check: an
+// already-cancelled context never starts stage work.
+func TestPreCancelledContextReturnsImmediately(t *testing.T) {
+	img := workload.Dial(64, 64, 3, 4)
+	res, err := Encode(img, Options{Lossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := EncodeParallelContext(ctx, img, Options{Lossless: true}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("encode: got %v, want context.Canceled", err)
+	}
+	if _, err := EncodeTiledContext(ctx, img, Options{Lossless: true, TileW: 32, TileH: 32}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("tiled encode: got %v, want context.Canceled", err)
+	}
+	if _, err := DecodeContext(ctx, res.Data); !errors.Is(err, context.Canceled) {
+		t.Errorf("decode: got %v, want context.Canceled", err)
+	}
+}
+
+// TestExpiredDeadlineReturnsDeadlineExceeded pins that deadline expiry
+// surfaces unwrapped, distinguishable from plain cancellation.
+func TestExpiredDeadlineReturnsDeadlineExceeded(t *testing.T) {
+	img := workload.Dial(64, 64, 3, 4)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := EncodeParallelContext(ctx, img, Options{Lossless: true}, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCancelMidEncodeStopsPromptly cancels while the stage pipeline is
+// draining a large image and requires the encode to stop within a
+// bounded wall-clock window (one outstanding job per worker), returning
+// context.Canceled unwrapped and leaking no goroutines.
+func TestCancelMidEncodeStopsPromptly(t *testing.T) {
+	img := workload.Dial(1024, 1024, 7, 5)
+	before := goroutineCount()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := EncodeParallelContext(ctx, img, Options{Lossless: true}, 4)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the pipeline start
+	cancel()
+	start := time.Now()
+	select {
+	case err := <-done:
+		// A fast machine may finish the whole encode before cancel
+		// lands; that is not a containment failure.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled or nil", err)
+		}
+		if err == nil {
+			t.Log("encode completed before cancellation landed")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled encode did not return")
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Errorf("cancelled encode took %v to unwind", waited)
+	}
+	if after := goroutineCount(); after > before+2 {
+		t.Errorf("goroutines leaked after cancellation: %d -> %d", before, after)
+	}
+}
+
+// TestCancelMidDecodeStopsPromptly is the decode-side analogue,
+// exercising both the packet-parse loop and the Tier-1 worker pool
+// cancellation points.
+func TestCancelMidDecodeStopsPromptly(t *testing.T) {
+	img := workload.Dial(512, 512, 3, 5)
+	res, err := Encode(img, Options{Lossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := DecodeWithContext(ctx, res.Data, DecodeOptions{Workers: 4})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled or nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled decode did not return")
+	}
+}
+
+// TestContextlessPathUnchanged pins that the Background-bound wrappers
+// still produce byte-identical output — the cancellation plumbing must
+// not perturb the determinism invariant.
+func TestContextlessPathUnchanged(t *testing.T) {
+	img := workload.Dial(160, 120, 4, 4)
+	opt := Options{Rate: 0.25}
+	seq, err := Encode(img, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := EncodeParallelContext(context.Background(), img, opt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seq.Data) != string(ctxRes.Data) {
+		t.Fatal("context-bound encode diverged from sequential encode")
+	}
+}

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 
 	"j2kcell/internal/codestream"
@@ -39,6 +40,19 @@ type DecodeOptions struct {
 	// a goroutine pool. Output is identical to the serial decode: every
 	// block writes a disjoint region of the coefficient planes.
 	Workers int
+	// Limits bounds what the main header may declare (dimensions,
+	// components, levels, tiles, total pixel budget), enforced before
+	// any plane or tile table is allocated. Nil applies DefaultLimits;
+	// point at a zero Limits{} to disable limiting.
+	Limits *Limits
+}
+
+// limits resolves the effective header limits.
+func (d DecodeOptions) limits() Limits {
+	if d.Limits != nil {
+		return *d.Limits
+	}
+	return DefaultLimits()
 }
 
 // findSOP returns the offset of the next SOP marker at or after `from`
@@ -88,16 +102,37 @@ type blockAcc struct {
 // DecodeWith reconstructs an image, optionally truncating the quality
 // or resolution progression.
 func DecodeWith(data []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+	return DecodeWithContext(context.Background(), data, dopt)
+}
+
+// DecodeContext is Decode bound to a context: cancellation stops the
+// decode between packets and Tier-1 block jobs and returns ctx.Err()
+// unwrapped.
+func DecodeContext(ctx context.Context, data []byte) (*imgmodel.Image, error) {
+	return DecodeWithContext(ctx, data, DecodeOptions{})
+}
+
+// DecodeWithContext is DecodeWith bound to a context. Malformed or
+// limit-exceeding input surfaces as *FormatError, a contained worker
+// panic as *FaultError, and cancellation as ctx.Err() unwrapped.
+func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (img *imgmodel.Image, err error) {
+	defer containAPIFault("decode", &err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
 	if jp2.IsJP2(data) {
 		_, cs, err := jp2.Unwrap(data)
 		if err != nil {
-			return nil, err
+			return nil, formatErr(err)
 		}
 		data = cs
 	}
-	h, bodies, err := codestream.DecodeTiles(data)
+	h, bodies, err := codestream.DecodeTilesLimits(data, dopt.limits())
 	if err != nil {
-		return nil, err
+		return nil, formatErr(err)
 	}
 	if dopt.regionSet() {
 		if dopt.DiscardLevels != 0 {
@@ -109,9 +144,9 @@ func DecodeWith(data []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
 		}
 	}
 	if len(bodies) > 1 || h.TileW < h.W || h.TileH < h.H {
-		return decodeTiled(h, bodies, dopt)
+		return decodeTiled(ctx, h, bodies, dopt)
 	}
-	tile, err := decodeTile(h, h.W, h.H, bodies[0], dopt)
+	tile, err := decodeTile(ctx, h, h.W, h.H, bodies[0], dopt)
 	if err != nil || !dopt.regionSet() {
 		return tile, err
 	}
@@ -120,8 +155,10 @@ func DecodeWith(data []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
 }
 
 // decodeTile reconstructs one tile of tw×th samples from its packet
-// body.
-func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+// body. The pipeline bound to ctx carries both the Tier-1 worker pool
+// and the cancellation checks of the packet-parse loop.
+func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+	p := NewPipelineContext(ctx, dopt.Workers)
 	bands := dwt.Layout(tw, th, h.Levels)
 	mode := t1.ModeSingle
 	style := t2.SegSingle
@@ -157,6 +194,9 @@ func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOption
 
 	off := 0
 	for _, lrc := range PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp) {
+		if p.stopped() {
+			return nil, p.Err()
+		}
 		l, r, c := lrc[0], lrc[1], lrc[2]
 		resBands := ResBands(h.Levels, r)
 		var pkt []*t2.Precinct
@@ -190,7 +230,7 @@ func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOption
 				}
 				continue
 			}
-			return nil, fmt.Errorf("codec: packet l=%d r=%d c=%d: %w", l, r, c, err)
+			return nil, formatErrf(err, "packet l=%d r=%d c=%d", l, r, c)
 		}
 		off += n
 		if l >= maxLayers || r > keepRes {
@@ -265,8 +305,15 @@ func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOption
 				if (gy+1)*h.CBH > band.H {
 					bh = band.H - gy*h.CBH
 				}
+				// A corrupt zero-bitplane count can exceed the band's M_b;
+				// clamp so Tier-1 sees a sane (empty) block instead of a
+				// negative bit-plane count.
+				numBPS := h.Mb[c][bi] - a.zbp
+				if numBPS < 0 {
+					numBPS = 0
+				}
 				tasks = append(tasks, blockTask{
-					acc: a, orient: band.Orient, numBPS: h.Mb[c][bi] - a.zbp,
+					acc: a, orient: band.Orient, numBPS: numBPS,
 					x0: band.X0 + gx*h.CBW, y0: band.Y0 + gy*h.CBH,
 					bw: bw, bh: bh, plane: planes[c], c: c, bi: bi, gx: gx, gy: gy,
 				})
@@ -278,16 +325,21 @@ func decodeTile(h *codestream.Header, tw, th int, body []byte, dopt DecodeOption
 		err := t1.Decode(pl.Data[tk.y0*pl.Stride+tk.x0:], tk.bw, tk.bh, pl.Stride,
 			tk.orient, mode, tk.numBPS, tk.acc.passes, tk.acc.data, tk.acc.segLens)
 		if err != nil {
-			return fmt.Errorf("codec: block c=%d band=%d (%d,%d): %w", tk.c, tk.bi, tk.gx, tk.gy, err)
+			return formatErrf(err, "block c=%d band=%d (%d,%d)", tk.c, tk.bi, tk.gx, tk.gy)
 		}
 		return nil
 	}
 	// Every block writes a disjoint plane region, so Tier-1 decoding
-	// drains the same atomic work queue as the encode pipeline.
+	// drains the same atomic work queue as the encode pipeline. A fault
+	// or cancellation outranks the per-block parse errors (blocks after
+	// the stop never ran, so their slots are nil, not failures).
 	errs := make([]error, len(tasks))
-	NewPipeline(dopt.Workers).run(obs.StageT1, 0, len(tasks), func(i int) {
+	p.run(obs.StageT1, 0, len(tasks), func(i int) {
 		errs[i] = decodeOne(tasks[i])
 	})
+	if perr := p.Err(); perr != nil {
+		return nil, perr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package codec
 
 import (
+	"context"
+
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/dwt"
 	"j2kcell/internal/imgmodel"
@@ -19,11 +21,26 @@ import (
 // from the imgmodel plane pool; callers that are done with them may
 // release them with imgmodel.PutPlane.
 func ForwardTransform(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
-	p := NewPipeline(1)
+	planes, _ := ForwardTransformPipeline(NewPipeline(1), img, opt)
+	return planes
+}
+
+// ForwardTransformPipeline is ForwardTransform on a caller-supplied
+// pipeline, so a tiled encode can run each tile's transform under the
+// outer pipeline's context and fault latch. On fault or cancellation
+// it returns the pipeline's error with every pooled plane already
+// released.
+func ForwardTransformPipeline(p *Pipeline, img *imgmodel.Image, opt Options) ([]*imgmodel.Plane, error) {
 	if opt.Lossless {
 		planes := p.MCTInt(img, opt)
 		p.DWT53(planes, opt)
-		return planes
+		if err := p.Err(); err != nil {
+			for _, pl := range planes {
+				imgmodel.PutPlane(pl)
+			}
+			return nil, err
+		}
+		return planes, nil
 	}
 	fplanes := p.MCTFloat(img, opt)
 	p.DWT97(fplanes, opt)
@@ -31,7 +48,13 @@ func ForwardTransform(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
 	for _, fp := range fplanes {
 		imgmodel.PutFPlane(fp)
 	}
-	return planes
+	if err := p.Err(); err != nil {
+		for _, pl := range planes {
+			imgmodel.PutPlane(pl)
+		}
+		return nil, err
+	}
+	return planes, nil
 }
 
 // Encode compresses img into a complete JPEG2000 codestream. It is the
@@ -39,6 +62,12 @@ func ForwardTransform(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
 // byte-identical to it by construction.
 func Encode(img *imgmodel.Image, opt Options) (*Result, error) {
 	return EncodeParallel(img, opt, 1)
+}
+
+// EncodeContext is Encode bound to a context: cancellation stops the
+// encode between work-queue jobs and returns ctx.Err() unwrapped.
+func EncodeContext(ctx context.Context, img *imgmodel.Image, opt Options) (*Result, error) {
+	return EncodeParallelContext(ctx, img, opt, 1)
 }
 
 // Finish performs everything downstream of Tier-1 — PCRD rate

@@ -1,0 +1,91 @@
+package codec
+
+import (
+	"errors"
+	"testing"
+
+	"j2kcell/internal/codestream"
+	"j2kcell/internal/jp2"
+	"j2kcell/internal/workload"
+)
+
+// fuzzLimits keeps fuzz inputs small: the fuzzer should spend its
+// budget on parser states, not on decoding megapixel planes.
+var fuzzLimits = Limits{
+	MaxWidth: 1 << 12, MaxHeight: 1 << 12,
+	MaxComponents: 8, MaxLevels: 10,
+	MaxTiles: 64, MaxPixels: 1 << 22,
+}
+
+// fuzzSeeds returns valid codestreams (raw and JP2-wrapped) plus
+// deterministic mutations of them, reusing the corruption operators of
+// the corrupt-stream regression tests.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	src := workload.Dial(48, 48, 5, 4)
+	var seeds [][]byte
+	rng := workload.NewRNG(123)
+	for _, opt := range []Options{
+		{Lossless: true},
+		{Rate: 0.2},
+		{LayerRates: []float64{0.05, 0.2}, Resilience: true},
+		{Lossless: true, TileW: 32, TileH: 32},
+	} {
+		res, err := Encode(src, opt)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, res.Data)
+		seeds = append(seeds, jp2.Wrap(jp2.Info{W: 48, H: 48, NComp: 3, Depth: 4}, res.Data))
+		for i := 0; i < 3; i++ {
+			seeds = append(seeds, mutate(rng, res.Data, i+1))
+		}
+		if len(res.Data) > 40 {
+			seeds = append(seeds, res.Data[:len(res.Data)/2], res.Data[:37])
+		}
+	}
+	return seeds
+}
+
+// FuzzDecode drives the full decoder. Parse errors are expected; a
+// panic, a hang, or a *FaultError (a panic the containment layer had
+// to catch — i.e. an input-reachable codec bug) is a finding.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := DecodeWith(data, DecodeOptions{Limits: &fuzzLimits})
+		if err != nil {
+			var fe *FaultError
+			if errors.As(err, &fe) {
+				t.Fatalf("input-reachable panic was only caught by containment: %v", err)
+			}
+			return
+		}
+		if img == nil || img.W <= 0 || img.H <= 0 {
+			t.Fatalf("nil error but bogus image: %+v", img)
+		}
+	})
+}
+
+// FuzzDecodeHeaders targets the marker-segment parser alone, where
+// most attacker-controlled arithmetic lives, with the limit checks in
+// the loop.
+func FuzzDecodeHeaders(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	lim := codestream.Limits(fuzzLimits)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, bodies, err := codestream.DecodeTilesLimits(data, lim)
+		if err != nil {
+			return
+		}
+		if h == nil || len(bodies) == 0 {
+			t.Fatal("nil error but no header or bodies")
+		}
+		if h.W > lim.MaxWidth || h.H > lim.MaxHeight || h.NComp > lim.MaxComponents {
+			t.Fatalf("accepted header exceeds limits: %dx%dx%d", h.W, h.H, h.NComp)
+		}
+	})
+}

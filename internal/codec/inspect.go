@@ -134,17 +134,24 @@ func scanMarkers(data []byte) ([]MarkerInfo, error) {
 // Inspect parses a codestream's headers and packet structure without
 // decoding any coefficient data.
 func Inspect(data []byte) (*StreamInfo, error) {
+	return InspectLimits(data, DefaultLimits())
+}
+
+// InspectLimits is Inspect with caller-supplied header limits; a
+// malformed or limit-exceeding stream surfaces as *FormatError.
+func InspectLimits(data []byte, lim Limits) (*StreamInfo, error) {
 	if jp2.IsJP2(data) {
 		_, cs, err := jp2.Unwrap(data)
 		if err != nil {
-			return nil, err
+			return nil, formatErr(err)
 		}
 		data = cs
 	}
-	h, body, err := codestream.Decode(data)
+	h, bodies, err := codestream.DecodeTilesLimits(data, lim)
 	if err != nil {
-		return nil, err
+		return nil, formatErr(err)
 	}
+	body := bodies[0]
 	bands := dwt.Layout(h.W, h.H, h.Levels)
 	style := t2.SegSingle
 	if h.TermAll {

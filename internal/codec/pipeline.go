@@ -1,12 +1,14 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"j2kcell/internal/decomp"
 	"j2kcell/internal/dwt"
+	"j2kcell/internal/faults"
 	"j2kcell/internal/imgmodel"
 	"j2kcell/internal/mct"
 	"j2kcell/internal/obs"
@@ -37,22 +39,112 @@ import (
 // sync.Pool arenas, keeping steady-state encode allocations
 // near-constant.
 //
-// A Pipeline is stateless and safe for concurrent use.
+// A Pipeline additionally carries the fault-containment and
+// cancellation state of one encode or decode: a context checked
+// between job claims, and a first-error latch filled by the per-job
+// recover wrapper. Create one Pipeline per encode/decode; it is safe
+// for its own worker goroutines but not for reuse across operations.
 type Pipeline struct {
 	workers int
+	ctx     context.Context
+	done    <-chan struct{} // ctx.Done(), cached (nil for Background)
+
+	aborted atomic.Bool // fast stop flag checked between job claims
+	mu      sync.Mutex
+	err     error // first stage fault or injected error
 }
 
 // NewPipeline returns a pipeline that runs its stages on up to
-// `workers` goroutines (minimum 1; 1 means run inline).
+// `workers` goroutines (minimum 1; 1 means run inline), without
+// cancellation (context.Background).
 func NewPipeline(workers int) *Pipeline {
+	return NewPipelineContext(context.Background(), workers)
+}
+
+// NewPipelineContext is NewPipeline bound to a context: the work-queue
+// drain loops check ctx between jobs, so cancellation or a deadline
+// stops the encode/decode within a bounded number of outstanding jobs
+// (at most one per worker) and the operation returns ctx.Err().
+func NewPipelineContext(ctx context.Context, workers int) *Pipeline {
 	if workers < 1 {
 		workers = 1
 	}
-	return &Pipeline{workers: workers}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Pipeline{workers: workers, ctx: ctx, done: ctx.Done()}
 }
 
 // Workers reports the pool width.
 func (p *Pipeline) Workers() int { return p.workers }
+
+// Context returns the context the pipeline was bound to.
+func (p *Pipeline) Context() context.Context { return p.ctx }
+
+// Fail records err as the pipeline's failure (first error wins) and
+// stops further job claims. Safe from any worker.
+func (p *Pipeline) Fail(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.aborted.Store(true)
+}
+
+// Err returns the pipeline's failure: the first contained fault or
+// injected error if one occurred, else the context's error (so a
+// cancelled encode reports context.Canceled / DeadlineExceeded
+// unwrapped), else nil.
+func (p *Pipeline) Err() error {
+	p.mu.Lock()
+	err := p.err
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return p.ctx.Err()
+}
+
+// stopped reports whether workers should stop claiming jobs: a stage
+// fault was recorded or the context is done. It is the per-claim hot
+// check — one atomic load plus a non-blocking channel poll (the poll
+// compiles to a nil check for Background contexts).
+func (p *Pipeline) stopped() bool {
+	if p.aborted.Load() {
+		return true
+	}
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// job runs one queue job under fault containment: an injected fault
+// (faults.Hit) fails the pipeline with its typed error, and a panic
+// from the stage body is recovered into a *FaultError carrying the
+// stage, worker lane, and job coordinates, counted on the obs
+// fault_contained_panics counter. The job never propagates a panic to
+// run's worker loop, so the WaitGroup always completes — no hang, no
+// goroutine leak.
+func (p *Pipeline) job(st obs.Stage, arg int32, lane, i int, fn func(int)) {
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Count(obs.CtrFaultPanics)
+			p.Fail(asFault(r, st.String(), lane, i, int(arg)))
+		}
+	}()
+	if err := faults.Hit(st.String()); err != nil {
+		p.Fail(&FaultError{Stage: st.String(), Lane: lane, Job: i, Arg: int(arg), Err: err})
+		return
+	}
+	fn(i)
+}
 
 // stripeRows is the row granularity of the stripe-parallel stages:
 // coarse enough to amortize queue claims, fine enough to balance.
@@ -67,9 +159,16 @@ const stripeRows = 64
 // argument arg — e.g. the DWT level — and the job index) on the claiming
 // worker's lane, and each claim is counted per lane; with observability
 // disabled the extra work per job is a nil check.
-func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) {
-	if n <= 0 {
-		return
+//
+// Each claim first checks the pipeline's stop state (contained fault or
+// context cancellation), so an aborting drain completes within one
+// outstanding job per worker, and every job body runs under the
+// containment wrapper (Pipeline.job). run returns the pipeline's error
+// so stages can short-circuit; a stopped pipeline drains subsequent
+// run calls immediately.
+func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) error {
+	if n <= 0 || p.stopped() {
+		return p.Err()
 	}
 	rec := obs.Active()
 	rec.Add(obs.CtrQueueRuns, 1)
@@ -80,36 +179,37 @@ func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) {
 	}
 	if nw <= 1 {
 		ln := rec.Acquire()
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && !p.stopped(); i++ {
 			ln.Claim()
 			sp := ln.Begin(st, arg, int32(i))
-			fn(i)
+			p.job(st, arg, 0, i, fn)
 			sp.End()
 		}
 		ln.Release()
-		return
+		return p.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(nw)
 	for w := 0; w < nw; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			ln := rec.Acquire()
 			defer ln.Release()
-			for {
+			for !p.stopped() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				ln.Claim()
 				sp := ln.Begin(st, arg, int32(i))
-				fn(i)
+				p.job(st, arg, w, i, fn)
 				sp.End()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	return p.Err()
 }
 
 // Scratch pools for stripe-sized transients (DWT aux rows, horizontal
@@ -407,8 +507,24 @@ func warmGains(opt Options) {
 
 // parallelize across tiles instead (EncodeTiled).
 func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, error) {
+	return EncodeParallelContext(context.Background(), img, opt, workers)
+}
+
+// EncodeParallelContext is EncodeParallel bound to a context: the stage
+// work queues check ctx between job claims, so cancellation stops the
+// encode within a bounded number of outstanding jobs (at most one per
+// worker), releases all pooled buffers, and returns ctx.Err()
+// unwrapped. A panic inside any stage worker is contained into a
+// *FaultError instead of crossing the API.
+func EncodeParallelContext(ctx context.Context, img *imgmodel.Image, opt Options, workers int) (res *Result, err error) {
+	defer containAPIFault("encode", &err)
 	if err := validateImage(img); err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	// Record which simd kernel set serves this encode; the counter shows
 	// up in MetricsTable/expvar so a perf report can tell scalar, SSE2,
@@ -420,15 +536,17 @@ func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, err
 		if opt.TileW <= 0 || opt.TileH <= 0 {
 			return nil, fmt.Errorf("codec: both tile dimensions must be set")
 		}
-		return EncodeTiled(img, opt, workers)
+		return EncodeTiledContext(ctx, img, opt, workers)
 	}
 	opt = opt.WithDefaults(img.W, img.H)
-	p := NewPipeline(workers)
+	p := NewPipelineContext(ctx, workers)
 	// Whole-encode envelope span on a coordinator lane: it defines the
 	// Amdahl report's total window (and pins lane 0, so worker lanes
 	// stay stable across stages).
 	ln := obs.Acquire()
 	total := ln.Begin(obs.StageEncode, 0, 0)
+	defer ln.Release()
+	defer total.End()
 	warmGains(opt)
 	_, jobs := PlanBlocks(img.W, img.H, len(img.Comps), opt)
 	// Rate-constrained encodes build each block's R-D ladder and convex
@@ -454,8 +572,12 @@ func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, err
 			imgmodel.PutFPlane(fp)
 		}
 	}
-	res := FinishRD(img, opt, jobs, blocks, rd, p.workers)
-	total.End()
-	ln.Release()
-	return res, nil
+	// Stage workers never leave a fault or cancellation behind silently:
+	// the drain loops stop claiming, the pooled planes above are already
+	// returned, and the first recorded error surfaces here before the
+	// sequential finish would touch possibly-missing blocks.
+	if perr := p.Err(); perr != nil {
+		return nil, perr
+	}
+	return FinishRD(img, opt, jobs, blocks, rd, p.workers), nil
 }

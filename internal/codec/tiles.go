@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"context"
 	"fmt"
 
 	"j2kcell/internal/codestream"
@@ -49,8 +50,23 @@ type tileCoded struct {
 // worker pool), PCRD allocates the byte budget globally across every
 // tile's blocks, and each tile's packets form its own tile-part.
 func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error) {
+	return EncodeTiledContext(context.Background(), img, opt, workers)
+}
+
+// EncodeTiledContext is EncodeTiled bound to a context. Cancellation
+// stops the tile queue between tiles (and inside each tile's transform
+// stages, which share the same context), worker panics are contained
+// into *FaultError, and every tile's pooled planes are released on
+// both paths.
+func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, workers int) (res *Result, err error) {
+	defer containAPIFault("tile", &err)
 	if err := validateImage(img); err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	opt = opt.WithDefaults(img.W, img.H)
 	if opt.TileW <= 0 || opt.TileH <= 0 {
@@ -67,6 +83,8 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	// EncodeParallel; the same lane carries the sequential finish spans.
 	ln := obs.Acquire()
 	total := ln.Begin(obs.StageEncode, 0, 0)
+	defer ln.Release()
+	defer total.End()
 	warmGains(opt)
 
 	// Transform and Tier-1 code every tile through the shared work
@@ -74,10 +92,18 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	// coefficient planes once its blocks are coded. Rate-constrained
 	// encodes also build each block's R-D ladder and convex hull here,
 	// inside the parallel stage.
-	NewPipeline(workers).run(obs.StageTile, 0, len(grid), func(i int) {
+	p := NewPipelineContext(ctx, workers)
+	p.run(obs.StageTile, 0, len(grid), func(i int) {
 		r := grid[i]
 		sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
-		planes := ForwardTransform(sub, opt)
+		// The per-tile transform runs inline on a single-worker inner
+		// pipeline bound to the same context, so its stage faults and
+		// cancellation propagate to the tile queue's latch.
+		planes, terr := ForwardTransformPipeline(NewPipelineContext(p.Context(), 1), sub, opt)
+		if terr != nil {
+			p.Fail(terr)
+			return
+		}
 		_, jobs := PlanBlocks(r.W, r.H, ncomp, opt)
 		blocks := make([]*t1.Block, len(jobs))
 		var rd []rate.BlockRD
@@ -106,6 +132,11 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 		}
 		tiles[i] = &tileCoded{rect: r, img: sub, jobs: jobs, blocks: blocks, rd: rd}
 	})
+	// A contained fault or cancellation leaves some tiles nil; surface
+	// the first error before the merge would dereference them.
+	if perr := p.Err(); perr != nil {
+		return nil, perr
+	}
 
 	// Global M_b and global rate allocation across all tiles' blocks.
 	nbands := 3*opt.Levels + 1
@@ -171,15 +202,15 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 	}
 
 	keep := keeps[len(keeps)-1]
-	res := &Result{Data: data, Jobs: allJobs, Blocks: allBlocks, Keep: keep, LayerKeep: keeps}
+	res = &Result{Data: data, Jobs: allJobs, Blocks: allBlocks, Keep: keep, LayerKeep: keeps}
 	res.Stats = buildStats(img, allJobs, allBlocks, keep, len(data)-bodyTotal, bodyTotal)
-	total.End()
-	ln.Release()
 	return res, nil
 }
 
-// decodeTiled reassembles a multi-tile stream.
-func decodeTiled(h *codestream.Header, bodies [][]byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+// decodeTiled reassembles a multi-tile stream, checking ctx between
+// tiles. Context errors and contained faults pass through unwrapped;
+// per-tile parse failures gain the tile index.
+func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dopt DecodeOptions) (*imgmodel.Image, error) {
 	grid := TileGrid(h.W, h.H, h.TileW, h.TileH)
 	if len(bodies) != len(grid) {
 		return nil, fmt.Errorf("codec: %d tile parts for a %d-tile grid", len(bodies), len(grid))
@@ -213,9 +244,12 @@ func decodeTiled(h *codestream.Header, bodies [][]byte, dopt DecodeOptions) (*im
 			lo.H = minI(reg.Y0+reg.H, r.Y0+r.H) - (r.Y0 + lo.Y0)
 			td := dopt
 			td.Region = lo
-			tile, err := decodeTile(h, r.W, r.H, bodies[i], td)
+			tile, err := decodeTile(ctx, h, r.W, r.H, bodies[i], td)
 			if err != nil {
-				return nil, fmt.Errorf("codec: tile %d: %w", i, err)
+				if passthrough(err) {
+					return nil, err
+				}
+				return nil, formatErrf(err, "tile %d", i)
 			}
 			crop := tile.SubImage(lo.X0, lo.Y0, lo.W, lo.H)
 			out.Insert(crop, r.X0+lo.X0-reg.X0, r.Y0+lo.Y0-reg.Y0)
@@ -226,9 +260,12 @@ func decodeTiled(h *codestream.Header, bodies [][]byte, dopt DecodeOptions) (*im
 	rh := (h.H + scale - 1) / scale
 	out := imgmodel.NewImage(rw, rh, h.NComp, h.Depth)
 	for i, r := range grid {
-		tile, err := decodeTile(h, r.W, r.H, bodies[i], dopt)
+		tile, err := decodeTile(ctx, h, r.W, r.H, bodies[i], dopt)
 		if err != nil {
-			return nil, fmt.Errorf("codec: tile %d: %w", i, err)
+			if passthrough(err) {
+				return nil, err
+			}
+			return nil, formatErrf(err, "tile %d", i)
 		}
 		out.Insert(tile, r.X0/scale, r.Y0/scale)
 	}

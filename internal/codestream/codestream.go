@@ -178,8 +178,15 @@ func Decode(data []byte) (*Header, []byte, error) {
 }
 
 // DecodeTiles parses a codestream, returning the header and every
-// tile's packet body in tile-index order.
+// tile's packet body in tile-index order, under DefaultLimits.
 func DecodeTiles(data []byte) (*Header, [][]byte, error) {
+	return DecodeTilesLimits(data, DefaultLimits())
+}
+
+// DecodeTilesLimits is DecodeTiles with caller-supplied header limits,
+// enforced as each marker segment is parsed — a hostile SIZ or COD is
+// rejected before the header tables it implies are allocated.
+func DecodeTilesLimits(data []byte, lim Limits) (*Header, [][]byte, error) {
 	rd := &reader{data: data}
 	if m, err := rd.marker(); err != nil || m != SOC {
 		return nil, nil, fmt.Errorf("codestream: missing SOC (got %#x, err %v)", m, err)
@@ -219,6 +226,9 @@ func DecodeTiles(data []byte) (*Header, [][]byte, error) {
 			if h.Depth < 1 || h.Depth > 16 {
 				return nil, nil, fmt.Errorf("codestream: unsupported depth %d", h.Depth)
 			}
+			if err := lim.checkSIZ(h); err != nil {
+				return nil, nil, err
+			}
 			seenSIZ = true
 		case COD:
 			p, err := rd.segment()
@@ -249,6 +259,9 @@ func DecodeTiles(data []byte) (*Header, [][]byte, error) {
 			h.CBH = 1 << (int(p[7]) + 2)
 			h.TermAll = p[8]&0x04 != 0
 			h.Lossless = p[9] == 1
+			if err := lim.checkCOD(h); err != nil {
+				return nil, nil, err
+			}
 			seenCOD = true
 		case QCD:
 			p, err := rd.segment()

@@ -1,0 +1,71 @@
+package codestream
+
+import "fmt"
+
+// Limits bounds what a decoder will accept from an untrusted
+// codestream's main header, enforced while parsing SIZ/COD — before
+// any coefficient plane, precinct grid, or tile table is allocated —
+// so a decompression bomb (a tiny stream declaring a gigapixel image)
+// is rejected with a cheap typed error instead of an OOM or a stall.
+//
+// A zero or negative field means "no limit for this axis"; the zero
+// Limits value disables header limiting entirely. DefaultLimits
+// returns the bounds the library applies when the caller supplies
+// none.
+type Limits struct {
+	MaxWidth      int   // image width in samples
+	MaxHeight     int   // image height in samples
+	MaxComponents int   // component count (SIZ Csiz)
+	MaxLevels     int   // DWT decomposition levels (COD)
+	MaxTiles      int   // tiles in the grid implied by SIZ
+	MaxPixels     int64 // total sample budget: W × H × components
+}
+
+// DefaultLimits are the bounds applied when the caller passes none:
+// generous enough for every workload in this repository (the paper's
+// 3072×3072×3 dial is ~28 M samples) while refusing gigapixel-scale
+// headers long before allocation.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxWidth:      1 << 26,
+		MaxHeight:     1 << 26,
+		MaxComponents: 256,
+		MaxLevels:     32,
+		MaxTiles:      1 << 16,
+		MaxPixels:     1 << 28, // 268 M samples ≈ 1 GiB of int32 planes
+	}
+}
+
+// checkSIZ validates the geometry fields parsed from SIZ.
+func (l Limits) checkSIZ(h *Header) error {
+	if l.MaxWidth > 0 && h.W > l.MaxWidth {
+		return fmt.Errorf("codestream: width %d exceeds limit %d", h.W, l.MaxWidth)
+	}
+	if l.MaxHeight > 0 && h.H > l.MaxHeight {
+		return fmt.Errorf("codestream: height %d exceeds limit %d", h.H, l.MaxHeight)
+	}
+	if l.MaxComponents > 0 && h.NComp > l.MaxComponents {
+		return fmt.Errorf("codestream: %d components exceed limit %d", h.NComp, l.MaxComponents)
+	}
+	if l.MaxPixels > 0 {
+		if total := int64(h.W) * int64(h.H) * int64(h.NComp); total > l.MaxPixels {
+			return fmt.Errorf("codestream: %d samples (%dx%dx%d) exceed pixel budget %d",
+				total, h.W, h.H, h.NComp, l.MaxPixels)
+		}
+	}
+	if l.MaxTiles > 0 {
+		tiles := ((h.W + h.TileW - 1) / h.TileW) * ((h.H + h.TileH - 1) / h.TileH)
+		if tiles > l.MaxTiles {
+			return fmt.Errorf("codestream: %d tiles exceed limit %d", tiles, l.MaxTiles)
+		}
+	}
+	return nil
+}
+
+// checkCOD validates the coding-style fields parsed from COD.
+func (l Limits) checkCOD(h *Header) error {
+	if l.MaxLevels > 0 && h.Levels > l.MaxLevels {
+		return fmt.Errorf("codestream: %d decomposition levels exceed limit %d", h.Levels, l.MaxLevels)
+	}
+	return nil
+}

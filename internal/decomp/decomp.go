@@ -40,6 +40,7 @@ type Array[T cell.Word] struct {
 // NewArray allocates a w×h array in m's simulated main memory with
 // padded rows, implementing the row-padding step of the scheme.
 func NewArray[T cell.Word](m *cell.Machine, w, h int) *Array[T] {
+	// invariant: array geometry comes from validated image dimensions.
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("decomp: invalid array size %dx%d", w, h))
 	}
@@ -89,9 +90,12 @@ func (a *Array[T]) Set(r, c int, v T) { a.Data[r*a.Stride+c] = v }
 // src and dst must have identical geometry (in-place streaming, with
 // dst == src, is allowed).
 func StreamRows[T cell.Word](p *sim.Proc, spe *cell.SPE, src, dst *Array[T], ch Chunk, depth int, cyclesPerElem float64, fn func(row int, buf []T)) {
+	// invariant: both arrays were allocated by NewArray from the same
+	// plan; mismatches are simulation-kernel bugs.
 	if src.W != dst.W || src.H != dst.H || src.Stride != dst.Stride {
 		panic("decomp: StreamRows geometry mismatch")
 	}
+	// invariant: Partition only routes aligned chunks to SPEs.
 	if !ch.Aligned() {
 		panic("decomp: StreamRows requires an aligned chunk; the PPE handles the remainder")
 	}
@@ -150,6 +154,7 @@ func StreamRows[T cell.Word](p *sim.Proc, spe *cell.SPE, src, dst *Array[T], ch 
 // the PPE: direct cached access, cost charged per element, traffic
 // streamed through the shared memory interface.
 func PPERows[T cell.Word](p *sim.Proc, ppe *cell.PPE, src, dst *Array[T], ch Chunk, cyclesPerElem float64, fn func(row int, buf []T)) {
+	// invariant: same shared-plan geometry contract as StreamRows.
 	if src.W != dst.W || src.H != dst.H || src.Stride != dst.Stride {
 		panic("decomp: PPERows geometry mismatch")
 	}

@@ -41,12 +41,15 @@ func (c Chunk) Aligned() bool {
 // over nSPE SPEs, plus at most one remainder chunk for the PPE. With
 // nSPE == 0 the whole width goes to the PPE.
 func Partition(width, chunkW, nSPE int) []Chunk {
+	// invariant: width is a validated image/level dimension (>= 1).
 	if width <= 0 {
 		panic("decomp: Partition of non-positive width")
 	}
 	if nSPE == 0 {
 		return []Chunk{{X0: 0, W: width, PE: PPEChunk}}
 	}
+	// invariant: chunk widths are produced by ChunkWidthFor, which only
+	// emits cache-line multiples.
 	if chunkW <= 0 || chunkW%WordsPerLine != 0 {
 		panic(fmt.Sprintf("decomp: chunk width %d is not a multiple of %d words", chunkW, WordsPerLine))
 	}

@@ -72,6 +72,8 @@ func levelDim(n, l int) int {
 // packet order for an LRCP progression. Empty bands (zero area) are
 // included with W or H zero so callers can skip them explicitly.
 func Layout(w, h, levels int) []Band {
+	// invariant: levels comes from Options defaults or a COD field already
+	// range-checked (0..32) by the codestream parser.
 	if levels < 0 {
 		panic("dwt: negative levels")
 	}

@@ -1,0 +1,74 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+type fakeRNG struct{ vals []int }
+
+func (r *fakeRNG) Intn(n int) int {
+	v := r.vals[0] % n
+	r.vals = r.vals[1:]
+	return v
+}
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if err := Hit("t1"); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+}
+
+func TestErrorFiresExactlyOnceAtN(t *testing.T) {
+	Arm("t1", 3, Error)
+	defer Disarm()
+	for i := 1; i <= 10; i++ {
+		err := Hit("t1")
+		if (err != nil) != (i == 3) {
+			t.Fatalf("entry %d: err=%v", i, err)
+		}
+		if err != nil {
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Stage != "t1" || ie.N != 3 {
+				t.Fatalf("wrong typed error: %#v", err)
+			}
+		}
+	}
+	if Fired() != 1 {
+		t.Fatalf("fired %d times, want 1", Fired())
+	}
+}
+
+func TestOtherStagesUnaffected(t *testing.T) {
+	Arm("dwt-v", 1, Error)
+	defer Disarm()
+	if err := Hit("t1"); err != nil {
+		t.Fatalf("wrong stage fired: %v", err)
+	}
+	if err := Hit("dwt-v"); err == nil {
+		t.Fatal("armed stage did not fire")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	Arm("mct", 1, Panic)
+	defer Disarm()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Panic mode did not panic")
+		}
+	}()
+	Hit("mct")
+}
+
+func TestArmRandomIsDeterministic(t *testing.T) {
+	n1 := ArmRandom("t1", &fakeRNG{vals: []int{7}}, 20, Error)
+	n2 := ArmRandom("t1", &fakeRNG{vals: []int{7}}, 20, Error)
+	Disarm()
+	if n1 != n2 || n1 != 8 {
+		t.Fatalf("ArmRandom not deterministic: %d vs %d", n1, n2)
+	}
+}

@@ -25,9 +25,7 @@ func AblateDWTFusion(p Params) *Table {
 			cfg := core.DefaultConfig(8, mode.opt)
 			cfg.NaiveDWT = naive
 			res, err := core.Encode(img, cfg)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			variant := "fused (1 sweep)"
 			if naive {
 				variant = "naive (split+lifts)"
@@ -53,9 +51,7 @@ func AblateBuffering(p Params) *Table {
 		cfg := core.DefaultConfig(8, losslessOpt())
 		cfg.BufferDepth = d
 		res, err := core.Encode(img, cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.AddRow(fmt.Sprint(d), f3(cellSeconds(res)),
 			f3(cell.Seconds(res.StageCycles("dwt"))),
 			fmt.Sprint(res.LSHighWater/1024))
@@ -75,9 +71,7 @@ func AblateChunkWidth(p Params) *Table {
 		cfg := core.DefaultConfig(8, losslessOpt())
 		cfg.ChunkWidth = cw
 		res, err := core.Encode(img, cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		label := fmt.Sprint(cw)
 		if cw == 0 {
 			label = "auto"
@@ -102,9 +96,7 @@ func AblateBlockSize(p Params) *Table {
 		opt := losslessOpt()
 		opt.CBW, opt.CBH = cb, cb
 		res, err := core.Encode(img, core.DefaultConfig(8, opt))
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		t.AddRow(fmt.Sprintf("%dx%d", cb, cb), f3(cellSeconds(res)),
 			f3(cell.Seconds(res.StageCycles("tier1"))),
 			fmt.Sprint(res.Stats.Blocks),
@@ -125,9 +117,7 @@ func AblateWorkQueue(p Params) *Table {
 		cfg := core.DefaultConfig(8, losslessOpt())
 		cfg.StaticT1 = static
 		res, err := core.Encode(img, cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		label := "work queue"
 		if static {
 			label = "static round-robin"
@@ -150,9 +140,7 @@ func AblateFixedPoint(p Params) *Table {
 		cfg := core.DefaultConfig(1, lossyOpt())
 		cfg.FixedPoint97 = fixed
 		res, err := core.Encode(img, cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		label := "float (ours)"
 		if fixed {
 			label = "fixed point (JasPer)"
@@ -182,9 +170,7 @@ func AblateLoopParallel(p Params) *Table {
 			cfg := core.DefaultConfig(n, lossyOpt())
 			cfg.LoopParallel = loop
 			res, err := core.Encode(img, cfg)
-			if err != nil {
-				panic(err)
-			}
+			must(err)
 			sec := cellSeconds(res)
 			if n == 1 {
 				base = sec
@@ -210,9 +196,7 @@ func AblateNUMA(p Params) *Table {
 		cfg.Cell = cellQS20()
 		cfg.Cell.NUMA = numa
 		res, err := core.Encode(img, cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		label := "uniform (paper figures)"
 		if numa {
 			label = "per-chip NUMA"

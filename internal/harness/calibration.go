@@ -12,7 +12,7 @@ import (
 // Calibration dumps the cost model with the cross-checks that anchor
 // it: the spu pipeline schedules behind the DWT constants, and the
 // 1-SPE stage shares the per-kernel constants are tuned to produce
-// (DESIGN.md §8). Run via `cellbench -exp calib`.
+// (DESIGN.md §9). Run via `cellbench -exp calib`.
 func Calibration(p Params) []*Table {
 	consts := &Table{
 		Title: "Calibration — kernel cost constants (cycles per element)",
@@ -56,7 +56,7 @@ func Calibration(p Params) []*Table {
 
 	shares := &Table{
 		Title: fmt.Sprintf("Calibration — 1-SPE stage shares (%dx%d dial)", p.W, p.H),
-		Note:  "The shares the constants are tuned to produce; compare DESIGN.md §8 and the paper's §5.1 narrative.",
+		Note:  "The shares the constants are tuned to produce; compare DESIGN.md §9 and the paper's §5.1 narrative.",
 		Cols:  []string{"mode", "stage", "share"},
 	}
 	for _, mode := range []struct {
@@ -64,9 +64,7 @@ func Calibration(p Params) []*Table {
 		opt  codec.Options
 	}{{"lossless", losslessOpt()}, {"lossy 0.1", lossyOpt()}} {
 		res, err := core.Encode(p.DialImage(), core.DefaultConfig(1, mode.opt))
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		for _, st := range res.Stages {
 			shares.AddRow(mode.name, st.Name, pct(float64(st.Cycles)/float64(res.Cycles)))
 		}

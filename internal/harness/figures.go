@@ -125,9 +125,7 @@ func scalingFigure(img *imgmodel.Image, opt codec.Options, title, paperNote stri
 	var base float64
 	for _, sc := range scalingConfigs(opt) {
 		res, err := core.Encode(img, sc.cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		total := cellSeconds(res)
 		if sc.label == "1 SPE" {
 			base = total
@@ -169,9 +167,7 @@ type mutaBars struct {
 func runMutaComparison(img *imgmodel.Image) mutaBars {
 	var b mutaBars
 	_, m8, err := baseline.EncodeMuta(img, 8, baseline.MutaClockHz)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	// Muta0: two frames in flight on two chips; per-frame latency is a
 	// single chip's, reported time is halved throughput-wise (the paper
 	// notes the per-frame time can be up to 2x the reported number).
@@ -180,22 +176,16 @@ func runMutaComparison(img *imgmodel.Image) mutaBars {
 	b.muta0.EBCOT /= 2
 	b.muta0.Other /= 2
 	_, b.muta1, err = baseline.EncodeMuta(img, 16, baseline.MutaClockHz)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	cfg1 := core.DefaultConfig(8, losslessOpt())
 	cfg1.PPET1 = true // the paper's design codes Tier-1 on PPE + SPEs
 	b.ours1, err = core.Encode(img, cfg1)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	cfg2 := core.DefaultConfig(16, losslessOpt())
 	cfg2.Cell = cell.QS20Config(16, 2)
 	cfg2.PPET1 = true
 	b.ours2, err = core.Encode(img, cfg2)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	b.ours1s = cellSeconds(b.ours1)
 	b.ours2s = cellSeconds(b.ours2)
 	return b
@@ -274,13 +264,9 @@ func Fig9(p Params) *Table {
 		{"lossy rate 0.1", lossyOpt(), "2.7", "15"},
 	} {
 		_, p4, err := baseline.EncodePentium(img, mode.opt)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		res, err := core.Encode(img, core.DefaultConfig(8, mode.opt))
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		total := cellSeconds(res)
 		dwt := cell.Seconds(res.StageCycles("dwt"))
 		t.AddRow("overall "+mode.label, f3(p4.Total()), f3(total), f2(p4.Total()/total), mode.ovP)

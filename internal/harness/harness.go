@@ -13,6 +13,18 @@ import (
 	"j2kcell/internal/workload"
 )
 
+// must aborts report generation on an impossible error.
+// invariant: every encode/simulate in this package runs the repo's own
+// deterministic synthetic workloads through known-good configurations;
+// an error here means the codec or model is broken, and the report
+// generators have no meaningful way to continue. No external input
+// reaches these calls.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // Params sizes the workloads. The paper uses a 28.3 MB 3072×3072 RGB
 // BMP for Figures 4, 5 and 9, and a 1920×1080 frame for the Muta
 // comparison; Scale divides both (the modeled ratios are size-stable,

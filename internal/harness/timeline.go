@@ -88,9 +88,7 @@ func Profile(p Params) string {
 		cfg.Trace = true
 		cfg.PPET1 = true
 		res, err := core.Encode(img, cfg)
-		if err != nil {
-			panic(err)
-		}
+		must(err)
 		fmt.Fprintf(&b, "## Execution profile — %s, 8 SPE + 1 PPE (%dx%d dial)\n",
 			mode.name, p.W, p.H)
 		b.WriteString(RenderTimeline(res, 96))

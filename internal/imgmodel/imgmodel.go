@@ -27,6 +27,8 @@ type Plane struct {
 
 // NewPlane allocates a zeroed W×H plane with padded rows.
 func NewPlane(w, h int) *Plane {
+	// invariant: callers derive w,h from geometry already validated at the
+	// API boundary (validateImage, codestream SIZ checks); 0 here is a bug.
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imgmodel: invalid plane size %dx%d", w, h))
 	}
@@ -77,6 +79,7 @@ type FPlane struct {
 
 // NewFPlane allocates a zeroed W×H float plane with padded rows.
 func NewFPlane(w, h int) *FPlane {
+	// invariant: same validated-geometry contract as NewPlane.
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imgmodel: invalid plane size %dx%d", w, h))
 	}
@@ -135,6 +138,8 @@ func (img *Image) Equal(o *Image) bool {
 // PSNR computes the peak signal-to-noise ratio in dB between img and a
 // reconstruction, over all components. Identical images return +Inf.
 func (img *Image) PSNR(rec *Image) float64 {
+	// invariant: PSNR is a test/benchmark metric between images the caller
+	// constructed with matching geometry; never fed decoder output directly.
 	if img.W != rec.W || img.H != rec.H || len(img.Comps) != len(rec.Comps) {
 		panic("imgmodel: PSNR geometry mismatch")
 	}

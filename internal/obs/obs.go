@@ -93,6 +93,7 @@ const (
 	CtrKernelScalar                  // encodes run with the scalar kernel set
 	CtrKernelSSE2                    // encodes run with the SSE2 kernel set
 	CtrKernelAVX2                    // encodes run with the AVX2 kernel set
+	CtrFaultPanics                   // worker panics contained into typed FaultErrors
 	numCounters
 )
 
@@ -105,6 +106,7 @@ var counterNames = [numCounters]string{
 	"pool_coder_hit", "pool_coder_miss",
 	"rate_probes", "hulls",
 	"kernel_scalar_encodes", "kernel_sse2_encodes", "kernel_avx2_encodes",
+	"fault_contained_panics",
 }
 
 // KernelCounter maps a simd kernel-set name ("scalar", "sse2", "avx2")

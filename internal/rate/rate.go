@@ -12,9 +12,11 @@
 package rate
 
 import (
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"j2kcell/internal/faults"
 	"j2kcell/internal/obs"
 )
 
@@ -103,24 +105,66 @@ func hull(b BlockRD) []HullPoint {
 // parallelBlocks splits [0,n) into one contiguous chunk per worker and
 // runs fn(w, lo, hi) on each concurrently; a single worker (or a tiny
 // n) runs inline with no goroutines.
+//
+// A panic inside a worker chunk (or an injected "rate" fault) never
+// escapes a bare goroutine: the first one is captured as a
+// *faults.Contained — keeping the original stack — and re-raised on
+// the coordinator after every worker has finished, so the WaitGroup
+// always completes and the caller's recover (the codec API envelope)
+// sees a fully-located fault.
 func parallelBlocks(n, workers int, fn func(w, lo, hi int)) {
+	chunk := func(w, lo, hi int) {
+		defer func() {
+			// Tag the panic with its stage before it leaves the chunk,
+			// so the inline path (no worker goroutine, no recover below)
+			// still reaches the API envelope fully located.
+			if r := recover(); r != nil {
+				if c, ok := r.(*faults.Contained); ok {
+					panic(c)
+				}
+				panic(&faults.Contained{Stage: "rate", Value: r, Stack: debug.Stack()})
+			}
+		}()
+		if err := faults.Hit("rate"); err != nil {
+			panic(&faults.Contained{Stage: "rate", Value: err, Stack: debug.Stack()})
+		}
+		fn(w, lo, hi)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		fn(0, 0, n)
+		chunk(0, 0, n)
 		return
 	}
+	var mu sync.Mutex
+	var fault *faults.Contained
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := n*w/workers, n*(w+1)/workers
 		wg.Add(1)
-		go func() {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(w, lo, hi)
-		}()
+			defer func() {
+				if r := recover(); r != nil {
+					c, ok := r.(*faults.Contained)
+					if !ok {
+						c = &faults.Contained{Stage: "rate", Value: r, Stack: debug.Stack()}
+					}
+					mu.Lock()
+					if fault == nil {
+						fault = c
+					}
+					mu.Unlock()
+				}
+			}()
+			chunk(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
+	if fault != nil {
+		panic(fault)
+	}
 }
 
 // Allocate returns, for each block, the number of passes to keep so

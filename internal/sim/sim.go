@@ -134,6 +134,8 @@ func (e *Engine) resumeProc(p *Proc) {
 // finished. It returns the final virtual time. Run panics on deadlock
 // (processes still running with no pending events).
 func (e *Engine) Run() Time {
+	// invariant: the simulator is driven by this repo's harness code only;
+	// misuse of the Engine API is a programming error, never input-dependent.
 	if e.started {
 		panic("sim: Engine.Run called twice")
 	}
@@ -147,6 +149,8 @@ func (e *Engine) Run() Time {
 			ev.fn()
 		}
 	}
+	// invariant: a modeled deadlock means the simulated protocol itself is
+	// wrong (a model bug); there is no input to reject, so fail loudly.
 	if e.running != 0 {
 		panic(fmt.Sprintf("sim: deadlock, %d process(es) blocked with no pending events", e.running))
 	}
@@ -250,6 +254,8 @@ type Resource struct {
 
 // busyFor returns the server occupancy for a payload of n bytes.
 func (r *Resource) busyFor(n int64) Time {
+	// invariant: resources are constructed from the calibrated machine
+	// tables, which are validated positive at configuration time.
 	if r.BytesPerCycle <= 0 {
 		panic("sim: Resource with non-positive bandwidth")
 	}
@@ -307,6 +313,8 @@ func (p *Proc) Lock(m *Mutex) {
 
 // Unlock releases m, handing it to the longest-waiting process if any.
 func (p *Proc) Unlock(m *Mutex) {
+	// invariant: lock discipline of the modeled processes, mirroring
+	// sync.Mutex semantics — an unlock-without-lock is a model bug.
 	if !m.locked {
 		panic("sim: Unlock of unlocked Mutex")
 	}
@@ -328,6 +336,8 @@ type Barrier struct {
 
 // Arrive joins the barrier. The last arriving process releases everyone.
 func (p *Proc) Arrive(b *Barrier) {
+	// invariant: barrier width is the configured worker count, validated
+	// at machine configuration time.
 	if b.N <= 0 {
 		panic("sim: Barrier with non-positive N")
 	}

@@ -204,6 +204,8 @@ func Lift97FixedKernel(n int) []Instr {
 // CyclesPer runs a kernel generator at a steady-state size and reports
 // cycles per iteration.
 func CyclesPer(gen func(n int) []Instr, n int) float64 {
+	// invariant: calibration sizes are compile-time constants in the
+	// harness; no external input reaches this.
 	if n < 1 {
 		panic("spu: CyclesPer needs n >= 1")
 	}

@@ -146,6 +146,9 @@ func writeNumPasses(w *BitWriter, n int) {
 		w.WriteBits(31, 5)
 		w.WriteBits(uint32(n-37), 7)
 	default:
+		// invariant: encode-side only — Tier-1 produces at most 3*NumBPS-2
+		// passes and NumBPS <= 56 is bounded by 32-bit coefficients, well
+		// under the 164-pass ceiling of the packet-header code.
 		panic(fmt.Sprintf("t2: %d passes exceed the 164 the header can code", n))
 	}
 }

@@ -21,6 +21,8 @@ type tagNode struct {
 
 // NewTagTree builds a tree over a w×h grid of leaves.
 func NewTagTree(w, h int) *TagTree {
+	// invariant: only reachable through NewPrecinct, which skips tree
+	// construction entirely for empty (w or h zero) precincts.
 	if w <= 0 || h <= 0 {
 		panic("t2: empty tag tree")
 	}

@@ -21,6 +21,7 @@
 package j2kcell
 
 import (
+	"context"
 	"errors"
 	"runtime"
 
@@ -54,6 +55,27 @@ func NewImage(w, h, ncomp, depth int) *Image { return imgmodel.NewImage(w, h, nc
 // waltham_dial.bmp).
 func TestImage(w, h int, seed uint32) *Image { return workload.Dial(w, h, seed, 5) }
 
+// FaultError reports a panic contained inside a codec worker
+// goroutine: the pipeline stage, worker lane, and job it escaped from.
+// The operation that contained it failed cleanly — no goroutine
+// leaked, pooled buffers were returned. It signals a codec bug (or an
+// injected test fault), never bad input.
+type FaultError = codec.FaultError
+
+// FormatError reports a malformed, truncated, or limit-exceeding
+// codestream; retrying cannot help. The underlying parse error is
+// reachable via errors.Unwrap.
+type FormatError = codec.FormatError
+
+// Limits bounds what the decoder accepts from an untrusted stream's
+// main header (dimensions, components, levels, tiles, pixel budget),
+// enforced before any allocation sized from header fields.
+type Limits = codec.Limits
+
+// DefaultLimits returns the header limits applied when DecodeOptions
+// carries none.
+func DefaultLimits() Limits { return codec.DefaultLimits() }
+
 // Encode compresses img into a JPEG2000 codestream sequentially.
 func Encode(img *Image, opt Options) ([]byte, *Stats, error) {
 	res, err := codec.Encode(img, opt)
@@ -63,9 +85,28 @@ func Encode(img *Image, opt Options) ([]byte, *Stats, error) {
 	return res.Data, &res.Stats, nil
 }
 
+// EncodeContext is Encode bound to a context: cancellation or deadline
+// expiry stops the encode between work-queue jobs, releases pooled
+// buffers, and returns ctx.Err() unwrapped (errors.Is-compatible with
+// context.Canceled / context.DeadlineExceeded).
+func EncodeContext(ctx context.Context, img *Image, opt Options) ([]byte, *Stats, error) {
+	res, err := codec.EncodeContext(ctx, img, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Data, &res.Stats, nil
+}
+
 // Decode reconstructs an image from a raw codestream or a JP2 file
 // produced by any of this package's encoders (auto-detected).
 func Decode(data []byte) (*Image, error) { return codec.Decode(data) }
+
+// DecodeContext is Decode bound to a context: cancellation stops the
+// decode between packets and Tier-1 block jobs and returns ctx.Err()
+// unwrapped.
+func DecodeContext(ctx context.Context, data []byte) (*Image, error) {
+	return codec.DecodeContext(ctx, data)
+}
 
 // EncodeJP2 compresses img and wraps the codestream in the JP2 file
 // container (signature, file-type, header and codestream boxes) — the
@@ -103,6 +144,11 @@ func DecodeWith(data []byte, opt DecodeOptions) (*Image, error) {
 	return codec.DecodeWith(data, opt)
 }
 
+// DecodeWithContext is DecodeWith bound to a context.
+func DecodeWithContext(ctx context.Context, data []byte, opt DecodeOptions) (*Image, error) {
+	return codec.DecodeWithContext(ctx, data, opt)
+}
+
 // DecodeParallel decodes with Tier-1 block decoding spread across
 // `workers` goroutines (0 selects GOMAXPROCS). Output is identical to
 // Decode.
@@ -122,13 +168,20 @@ func DecodeParallel(data []byte, workers int) (*Image, error) {
 // tiled images parallelize across tiles. The output is byte-identical
 // to Encode for every worker count.
 func EncodeParallel(img *Image, opt Options, workers int) ([]byte, *Stats, error) {
+	return EncodeParallelContext(context.Background(), img, opt, workers)
+}
+
+// EncodeParallelContext is EncodeParallel bound to a context:
+// cancellation stops the stage work queues within at most one
+// outstanding job per worker and returns ctx.Err() unwrapped.
+func EncodeParallelContext(ctx context.Context, img *Image, opt Options, workers int) ([]byte, *Stats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if err := validate(img); err != nil {
 		return nil, nil, err
 	}
-	res, err := codec.EncodeParallel(img, opt, workers)
+	res, err := codec.EncodeParallelContext(ctx, img, opt, workers)
 	if err != nil {
 		return nil, nil, err
 	}
