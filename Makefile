@@ -22,17 +22,19 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # bench-json reruns the hot-path benchmarks (simd kernels, Tier-1,
-# rate control, fixed-vs-float lifting, end-to-end encode) and merges
-# them with the committed pre-PR baseline into one JSON artifact with
-# per-benchmark speedup ratios. The Benchmark_Kernel_* runs carry
-# scalar/sse2/avx2 sub-benchmarks, so the SIMD speedup is visible
-# inside the current run even where the baseline has no counterpart.
-BENCH_JSON ?= BENCH_pr4.json
-BENCH_BASELINE ?= bench/baseline_pr3.txt
+# rate control, fixed-vs-float lifting, end-to-end encode AND decode)
+# and merges them with the committed pre-PR baseline into one JSON
+# artifact with per-benchmark speedup ratios. The Benchmark_Kernel_*
+# runs carry scalar/sse2/avx2 sub-benchmarks, so the SIMD speedup is
+# visible inside the current run even where the baseline has no
+# counterpart; BenchmarkDecodeParallelWorkers sweeps the decode
+# pipeline's worker counts over {lossless, lossy} × {untiled, tiled}.
+BENCH_JSON ?= BENCH_pr6.json
+BENCH_BASELINE ?= bench/baseline_pr5.txt
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_Kernel' -benchmem ./internal/simd/ > bench/current.txt
 	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkTable1' -benchmem . >> bench/current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkTable1' -benchmem . >> bench/current.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
 
 # fuzz runs each decoder fuzz target for FUZZTIME (the CI robustness

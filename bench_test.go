@@ -372,6 +372,39 @@ func BenchmarkEncodeParallelWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeParallelWorkers sweeps the worker pool width of the
+// decoder across coding modes and tilings — the decode-side analogue
+// of BenchmarkEncodeParallelWorkers. Throughput is reported in output
+// pixel bytes, so lossless and lossy rows are directly comparable.
+func BenchmarkDecodeParallelWorkers(b *testing.B) {
+	img := benchDial()
+	for _, mode := range []struct {
+		name string
+		opt  Options
+	}{
+		{"lossless", Options{Lossless: true}},
+		{"lossy", Options{Rate: 0.1}},
+		{"lossless-tiled", Options{Lossless: true, TileW: 128, TileH: 128}},
+		{"lossy-tiled", Options{Rate: 0.1, TileW: 128, TileH: 128}},
+	} {
+		data, _, err := Encode(img, mode.opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", mode.name, w), func(b *testing.B) {
+				b.SetBytes(int64(img.W * img.H * 3))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := DecodeParallel(data, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkDecodeLossless(b *testing.B) {
 	img := benchDial()
 	data, _, err := Encode(img, Options{Lossless: true})

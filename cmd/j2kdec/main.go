@@ -7,28 +7,46 @@
 // and -timeout bounds wall time. Exit codes distinguish the failure:
 // 1 I/O, 2 usage, 3 malformed/over-limit stream, 4 contained codec
 // fault, 5 timeout.
+//
+// Observability matches j2kenc (see DESIGN.md §6), now covering the
+// decode pipeline's stages (zero, t1, deq, idwt-h, idwt-v, imct):
+// -report prints the per-stage wall/busy breakdown with the measured
+// Amdahl serial fraction, -trace writes a chrome://tracing timeline
+// with one track per worker, -metrics dumps the counter set (queue
+// claims, Tier-1 decode partitions/singletons, DWT bytes moved, pool
+// hit rates), and -pprof serves net/http/pprof plus /debug/vars and
+// /metrics while decoding.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"j2kcell"
 	"j2kcell/internal/bmp"
 	"j2kcell/internal/cli"
+	"j2kcell/internal/obs"
 	"j2kcell/internal/pnm"
+	"j2kcell/internal/simd"
 )
 
 func main() {
 	in := flag.String("in", "", "input .j2c codestream")
 	out := flag.String("out", "out.bmp", "output image (.bmp, .pgm or .ppm)")
-	workers := flag.Int("workers", 0, "Tier-1 decode workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "decode pipeline workers (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the decode after this long (0 = no limit)")
 	maxPixels := flag.Int64("max-pixels", 0, "reject headers declaring more than this many samples (0 = library default)")
 	maxDim := flag.Int("max-dim", 0, "reject headers wider or taller than this (0 = library default)")
+	traceOut := flag.String("trace", "", "write a Chrome trace JSON timeline to this file")
+	report := flag.Bool("report", false, "print the per-stage wall-time / serial-fraction table")
+	metrics := flag.Bool("metrics", false, "print the counter and histogram table after decoding")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "j2kdec: need -in file.j2c")
@@ -37,13 +55,32 @@ func main() {
 	data, err := os.ReadFile(*in)
 	check(err)
 
+	observe := *traceOut != "" || *report || *metrics || *pprofAddr != ""
+	var rec *obs.Recorder
+	if observe {
+		rec = obs.Enable()
+	}
+	if *pprofAddr != "" {
+		obs.PublishExpvar()
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprint(w, obs.Active().MetricsTable())
+		})
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "j2kdec: pprof server:", err)
+			}
+		}()
+	}
+
 	ctx, cancel := cli.Context(*timeout)
 	defer cancel()
+	start := time.Now()
 	img, err := j2kcell.DecodeWithContext(ctx, data, j2kcell.DecodeOptions{
 		Workers: *workers,
 		Limits:  cli.Limits(*maxPixels, *maxDim),
 	})
 	check(err)
+	elapsed := time.Since(start)
 
 	f, err := os.Create(*out)
 	check(err)
@@ -51,19 +88,36 @@ func main() {
 	switch strings.ToLower(filepath.Ext(*out)) {
 	case ".pgm", ".ppm", ".pnm":
 		check(pnm.Encode(f, img))
-		fmt.Printf("%s: %dx%d decoded to %s\n", *in, img.W, img.H, *out)
-		return
+	default:
+		bimg := img
+		if len(img.Comps) == 1 {
+			// Expand grayscale to RGB for the BMP writer.
+			bimg = j2kcell.NewImage(img.W, img.H, 3, img.Depth)
+			for c := 0; c < 3; c++ {
+				copy(bimg.Comps[c].Data, img.Comps[0].Data)
+			}
+		}
+		check(bmp.Encode(f, bimg))
 	}
-	if len(img.Comps) == 1 {
-		// Expand grayscale to RGB for the BMP writer.
-		g := img
-		img = j2kcell.NewImage(g.W, g.H, 3, g.Depth)
-		for c := 0; c < 3; c++ {
-			copy(img.Comps[c].Data, g.Comps[0].Data)
+	fmt.Printf("%s: %dx%d decoded to %s in %v\n", *in, img.W, img.H, *out, elapsed.Round(time.Millisecond))
+
+	if rec != nil {
+		rec.Close()
+		spans := rec.TSpans()
+		if *report {
+			fmt.Printf("simd kernels: %s (available: %s)\n",
+				simd.Kernel(), strings.Join(simd.Available(), ", "))
+			fmt.Print(obs.BuildReport(spans, *workers).Table())
+		}
+		if *metrics {
+			fmt.Print(rec.MetricsTable())
+		}
+		if *traceOut != "" {
+			check(obs.WriteChromeTraceFile(*traceOut, spans, rec.Counters()))
+			fmt.Printf("trace: %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+				*traceOut, len(spans))
 		}
 	}
-	check(bmp.Encode(f, img))
-	fmt.Printf("%s: %dx%d decoded to %s\n", *in, img.W, img.H, *out)
 }
 
 func check(err error) {

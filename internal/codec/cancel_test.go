@@ -81,29 +81,56 @@ func TestCancelMidEncodeStopsPromptly(t *testing.T) {
 }
 
 // TestCancelMidDecodeStopsPromptly is the decode-side analogue,
-// exercising both the packet-parse loop and the Tier-1 worker pool
-// cancellation points.
+// exercising the cancellation points of every queue the inverse chain
+// drains — the packet-parse loop, the dynamically-partitioned Tier-1
+// stage, and the dequant/IDWT/inverse-MCT stages (and, in the tiled
+// case, the tile queue wrapping them) — and pinning that the aborted
+// pipeline joined all its workers: no goroutine outlives the decode.
 func TestCancelMidDecodeStopsPromptly(t *testing.T) {
 	img := workload.Dial(512, 512, 3, 5)
-	res, err := Encode(img, Options{Lossless: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err := DecodeWithContext(ctx, res.Data, DecodeOptions{Workers: 4})
-		done <- err
-	}()
-	time.Sleep(2 * time.Millisecond)
-	cancel()
-	select {
-	case err := <-done:
-		if err != nil && !errors.Is(err, context.Canceled) {
-			t.Fatalf("got %v, want context.Canceled or nil", err)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("cancelled decode did not return")
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"untiled", Options{Lossless: true}},
+		{"tiled", Options{Lossless: true, TileW: 128, TileH: 128}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var data []byte
+			if tc.opt.TileW > 0 {
+				res, err := EncodeTiled(img, tc.opt, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = res.Data
+			} else {
+				res, err := Encode(img, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data = res.Data
+			}
+			before := goroutineCount()
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				_, err := DecodeWithContext(ctx, data, DecodeOptions{Workers: 4})
+				done <- err
+			}()
+			time.Sleep(2 * time.Millisecond)
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatalf("got %v, want context.Canceled or nil", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled decode did not return")
+			}
+			if after := goroutineCount(); after > before+2 {
+				t.Errorf("goroutines leaked after cancelled decode: %d -> %d", before, after)
+			}
+		})
 	}
 }
 

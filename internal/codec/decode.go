@@ -36,9 +36,11 @@ type DecodeOptions struct {
 	// decode cost, is skipped for every other block. Not combinable
 	// with DiscardLevels.
 	Region Rect
-	// Workers > 1 runs Tier-1 block decoding (the dominant cost) across
-	// a goroutine pool. Output is identical to the serial decode: every
-	// block writes a disjoint region of the coefficient planes.
+	// Workers > 1 runs the full inverse chain — Tier-1 block decoding,
+	// dequantization, the multi-level inverse DWT and the inverse
+	// MCT/level shift — across a goroutine pool, draining the same
+	// atomic work queue the encoder's stages use. Output is
+	// bit-identical to the serial decode for every worker count.
 	Workers int
 	// Limits bounds what the main header may declare (dimensions,
 	// components, levels, tiles, total pixel budget), enforced before
@@ -123,6 +125,13 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
+	// Whole-decode envelope span (coordinator lane), the decode-side
+	// mirror of EncodeParallel's StageEncode envelope: per-stage busy
+	// time nests under it in the Amdahl report and trace.
+	ln := obs.Acquire()
+	total := ln.Begin(obs.StageDecode, 0, 0)
+	defer ln.Release()
+	defer total.End()
 	if jp2.IsJP2(data) {
 		_, cs, err := jp2.Unwrap(data)
 		if err != nil {
@@ -257,24 +266,17 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 		}
 	}
 
-	// Tier-1 decode every accumulated block into coefficient planes,
-	// skipping blocks whose synthesis support cannot touch a requested
-	// region. Blocks write disjoint plane regions, so they decode
-	// independently — serially or across a worker pool.
+	// Tier-1 decode every accumulated block into pooled coefficient
+	// planes, skipping blocks whose synthesis support cannot touch a
+	// requested region. Pooled planes arrive dirty, so a stripe-parallel
+	// zero stage runs first: regions no included block covers must read
+	// as zero coefficients. Blocks write disjoint plane regions, so they
+	// decode independently — serially or across the worker pool.
 	planes := make([]*imgmodel.Plane, h.NComp)
 	for c := range planes {
-		planes[c] = imgmodel.NewPlane(tw, th)
+		planes[c] = imgmodel.GetPlane(tw, th)
 	}
-	type blockTask struct {
-		acc    *blockAcc
-		orient dwt.Orient
-		numBPS int
-		x0, y0 int
-		bw, bh int
-		plane  *imgmodel.Plane
-		c, bi  int
-		gx, gy int
-	}
+	p.ZeroPlanes(planes)
 	var tasks []blockTask
 	for c := 0; c < h.NComp; c++ {
 		for bi, band := range bands {
@@ -329,45 +331,93 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 		}
 		return nil
 	}
-	// Every block writes a disjoint plane region, so Tier-1 decoding
-	// drains the same atomic work queue as the encode pipeline. A fault
-	// or cancellation outranks the per-block parse errors (blocks after
-	// the stop never ran, so their slots are nil, not failures).
-	errs := make([]error, len(tasks))
-	p.run(obs.StageT1, 0, len(tasks), func(i int) {
-		errs[i] = decodeOne(tasks[i])
+	// Tier-1 decoding drains the same atomic work queue as the encode
+	// pipeline, but in dynamically-sized jobs: partitions built from the
+	// per-block coded byte counts T2 parsing just measured, so cheap
+	// blocks coalesce and expensive blocks run alone (see
+	// partitionDecodeTasks). Partitions cover disjoint task ranges and
+	// blocks write disjoint plane regions, so the split never changes
+	// output. A fault or cancellation outranks the per-block parse
+	// errors (partitions after the stop never ran, so their slots are
+	// nil, not failures); partitions are contiguous in task order, so
+	// the first non-nil slot is still the earliest failing block.
+	parts := partitionDecodeTasks(tasks, p.workers)
+	errs := make([]error, len(parts))
+	p.run(obs.StageT1, 0, len(parts), func(i int) {
+		for t := parts[i].lo; t < parts[i].hi; t++ {
+			if err := decodeOne(tasks[t]); err != nil {
+				errs[i] = err
+				return
+			}
+		}
 	})
 	if perr := p.Err(); perr != nil {
+		putPlanes(planes)
 		return nil, perr
 	}
 	for _, err := range errs {
 		if err != nil {
+			putPlanes(planes)
 			return nil, err
 		}
 	}
 
 	if discard == 0 {
-		return reconstruct(h, bands, planes, tw, th)
+		return reconstruct(p, h, bands, planes, tw, th)
 	}
-	return reconstructReduced(h, bands, planes, tw, th, discard)
+	img, err := reconstructReduced(h, bands, planes, tw, th, discard)
+	putPlanes(planes)
+	return img, err
 }
 
-// reconstruct runs the full-size inverse transforms for one tile.
-func reconstruct(h *codestream.Header, bands []dwt.Band, planes []*imgmodel.Plane, tw, th int) (*imgmodel.Image, error) {
+// blockTask is one accumulated code block awaiting Tier-1 decode.
+type blockTask struct {
+	acc    *blockAcc
+	orient dwt.Orient
+	numBPS int
+	x0, y0 int
+	bw, bh int
+	plane  *imgmodel.Plane
+	c, bi  int
+	gx, gy int
+}
+
+// putPlanes recycles a tile's pooled coefficient planes. Callers only
+// release after the pipeline's run calls have returned, so no worker
+// still references the backing arrays.
+func putPlanes(planes []*imgmodel.Plane) {
+	for _, pl := range planes {
+		imgmodel.PutPlane(pl)
+	}
+}
+
+// reconstruct runs the full-size inverse transforms for one tile
+// through the stage pipeline: dequantization, the multi-level inverse
+// DWT and the fused inverse MCT + clamp drain the same work queue
+// Tier-1 did, and the pooled planes are recycled as each stage finishes
+// with them. Bit-identical to running dwt.Inverse53/97 and the serial
+// MCT helpers per plane.
+func reconstruct(p *Pipeline, h *codestream.Header, bands []dwt.Band, planes []*imgmodel.Plane, tw, th int) (*imgmodel.Image, error) {
 	img := imgmodel.NewImage(tw, th, h.NComp, h.Depth)
 	if h.Lossless {
-		for c, p := range planes {
-			dwt.Inverse53(p.Data, tw, th, p.Stride, h.Levels)
-			copy(img.Comps[c].Data, p.Data)
+		p.IDWT53(planes, h.Levels, 0)
+		p.InverseMCTInt(img, planes, h)
+		putPlanes(planes)
+		if err := p.Err(); err != nil {
+			return nil, err
 		}
-		inverseMCTInt(img, h)
 		return img, nil
 	}
-	fplanes := dequantize(h, bands, planes, tw, th)
+	fplanes := p.Dequantize(h, bands, planes)
+	putPlanes(planes)
+	p.IDWT97(fplanes, h.Levels, 0)
+	p.InverseMCTFloat(img, fplanes, h)
 	for _, fp := range fplanes {
-		dwt.Inverse97(fp.Data, tw, th, fp.Stride, h.Levels)
+		imgmodel.PutFPlane(fp)
 	}
-	inverseMCTFloat(img, fplanes, h)
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
 	return img, nil
 }
 

@@ -54,6 +54,10 @@ func TestFaultInjectionMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tiledSrc, err := EncodeTiled(img, tiledOpt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	ops := []faultOp{
 		{
@@ -81,10 +85,29 @@ func TestFaultInjectionMatrix(t *testing.T) {
 			},
 		},
 		{
-			name:   "decode",
-			stages: []string{"t1"},
+			name:   "decode-lossy",
+			stages: []string{"zero", "t1", "deq", "idwt-h", "idwt-v", "imct"},
 			run: func(w int) error {
 				_, err := DecodeWith(decSrc.Data, DecodeOptions{Workers: w})
+				return err
+			},
+		},
+		{
+			name:   "decode-lossless",
+			stages: []string{"zero", "t1", "idwt-h", "idwt-v", "imct"},
+			run: func(w int) error {
+				_, err := DecodeWith(base.Data, DecodeOptions{Workers: w})
+				return err
+			},
+		},
+		{
+			// Tiled decode: faults in the tile queue itself, and in the
+			// inner per-tile stages (whose *FaultError must pass through
+			// the tile queue's latch unwrapped).
+			name:   "decode-tiled",
+			stages: []string{"tile", "zero", "deq", "imct"},
+			run: func(w int) error {
+				_, err := DecodeWith(tiledSrc.Data, DecodeOptions{Workers: w})
 				return err
 			},
 		},

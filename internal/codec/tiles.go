@@ -207,9 +207,13 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 	return res, nil
 }
 
-// decodeTiled reassembles a multi-tile stream, checking ctx between
-// tiles. Context errors and contained faults pass through unwrapped;
-// per-tile parse failures gain the tile index.
+// decodeTiled reassembles a multi-tile stream. Tiles are fully
+// independent and write disjoint regions of the output image, so they
+// drain the same atomic work queue the tiled encoder uses (each tile's
+// own stages then run inline on a single-worker inner pipeline, as on
+// the encode side). Context errors and contained faults pass through
+// unwrapped via the queue's fault latch; per-tile parse failures gain
+// the tile index, earliest tile first.
 func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dopt DecodeOptions) (*imgmodel.Image, error) {
 	grid := TileGrid(h.W, h.H, h.TileW, h.TileH)
 	if len(bodies) != len(grid) {
@@ -226,15 +230,28 @@ func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dop
 	if discard > 0 && (h.TileW%scale != 0 || h.TileH%scale != 0) {
 		return nil, fmt.Errorf("codec: reduced decode of tiled stream needs tile size divisible by 2^%d", discard)
 	}
+	p := NewPipelineContext(ctx, dopt.Workers)
+	td := dopt
+	td.Workers = 1 // tiles are the parallel unit; inner stages run inline
+	terrs := make([]error, len(grid))
+	firstTileErr := func() error {
+		for i, err := range terrs {
+			if err != nil {
+				return formatErrf(err, "tile %d", i)
+			}
+		}
+		return nil
+	}
 	if dopt.regionSet() {
 		// Window decode: only tiles intersecting the region are decoded
 		// at all; each contributes its cropped overlap.
 		reg := dopt.Region
 		out := imgmodel.NewImage(reg.W, reg.H, h.NComp, h.Depth)
-		for i, r := range grid {
+		p.run(obs.StageTile, 0, len(grid), func(i int) {
+			r := grid[i]
 			tileRect := Rect{X0: r.X0, Y0: r.Y0, W: r.W, H: r.H}
 			if !rectsIntersect(tileRect, reg) {
-				continue
+				return
 			}
 			lo := Rect{ // overlap in tile-local coordinates
 				X0: maxI(reg.X0-r.X0, 0),
@@ -242,32 +259,49 @@ func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dop
 			}
 			lo.W = minI(reg.X0+reg.W, r.X0+r.W) - (r.X0 + lo.X0)
 			lo.H = minI(reg.Y0+reg.H, r.Y0+r.H) - (r.Y0 + lo.Y0)
-			td := dopt
-			td.Region = lo
-			tile, err := decodeTile(ctx, h, r.W, r.H, bodies[i], td)
+			tdi := td
+			tdi.Region = lo
+			tile, err := decodeTile(p.Context(), h, r.W, r.H, bodies[i], tdi)
 			if err != nil {
 				if passthrough(err) {
-					return nil, err
+					p.Fail(err)
+				} else {
+					terrs[i] = err
 				}
-				return nil, formatErrf(err, "tile %d", i)
+				return
 			}
 			crop := tile.SubImage(lo.X0, lo.Y0, lo.W, lo.H)
 			out.Insert(crop, r.X0+lo.X0-reg.X0, r.Y0+lo.Y0-reg.Y0)
+		})
+		if perr := p.Err(); perr != nil {
+			return nil, perr
+		}
+		if err := firstTileErr(); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
 	rw := (h.W + scale - 1) / scale
 	rh := (h.H + scale - 1) / scale
 	out := imgmodel.NewImage(rw, rh, h.NComp, h.Depth)
-	for i, r := range grid {
-		tile, err := decodeTile(ctx, h, r.W, r.H, bodies[i], dopt)
+	p.run(obs.StageTile, 0, len(grid), func(i int) {
+		r := grid[i]
+		tile, err := decodeTile(p.Context(), h, r.W, r.H, bodies[i], td)
 		if err != nil {
 			if passthrough(err) {
-				return nil, err
+				p.Fail(err)
+			} else {
+				terrs[i] = err
 			}
-			return nil, formatErrf(err, "tile %d", i)
+			return
 		}
 		out.Insert(tile, r.X0/scale, r.Y0/scale)
+	})
+	if perr := p.Err(); perr != nil {
+		return nil, perr
+	}
+	if err := firstTileErr(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

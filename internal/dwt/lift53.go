@@ -204,7 +204,11 @@ func Fwd53Line(x []int32, tmp []int32) {
 	copy(x, tmp[:n])
 }
 
-// Inv53Line reverses Fwd53Line.
+// Inv53Line reverses Fwd53Line. The two un-lifting recurrences run as
+// row-kernel sweeps along the line — the boundary-clamped first and
+// last samples are the only scalar steps — and the final interleave is
+// a vector shuffle. Bit-identical to the plain loop form: the kernels
+// perform the same wrapping adds and arithmetic shifts elementwise.
 func Inv53Line(x []int32, tmp []int32) {
 	n := len(x)
 	if n <= 1 {
@@ -212,24 +216,31 @@ func Inv53Line(x []int32, tmp []int32) {
 	}
 	nl, nh := (n+1)/2, n/2
 	low, high := x[:nl], x[nl:n]
-	for k := 0; k < nl; k++ {
-		d0, d1 := k-1, k
-		if d0 < 0 {
-			d0 = 0
-		}
-		if d1 > nh-1 {
-			d1 = nh - 1
-		}
-		tmp[2*k] = low[k] - ((high[d0] + high[d1] + 2) >> 2)
+	even, odd := tmp[:nl], tmp[nl:n]
+
+	// even[k] = low[k] - ((high[k-1] + high[k] + 2) >> 2), indices
+	// clamped to [0, nh-1].
+	even[0] = low[0] - ((high[0] + high[0] + 2) >> 2)
+	m := nl
+	if nh < nl { // odd length: last low row clamps d1 to nh-1
+		m = nh
 	}
-	for k := 0; k < nh; k++ {
-		e2 := 2*k + 2
-		if e2 > n-1 {
-			e2 = n - 2
-		}
-		tmp[2*k+1] = high[k] + ((tmp[2*k] + tmp[e2]) >> 1)
+	simd.SubShr2Row(even[1:m], low[1:m], high[:m-1], high[1:m])
+	if nh < nl {
+		even[nl-1] = low[nl-1] - ((high[nh-1] + high[nh-1] + 2) >> 2)
 	}
-	copy(x, tmp[:n])
+	// odd[k] = high[k] + ((even[k] + even[k+1]) >> 1), the k+1 clamped
+	// to nl-1 (which only happens for the last sample of even lengths).
+	if nl > nh { // odd length: even has one extra entry, no clamp
+		simd.AddShr1Row(odd, high, even[:nh], even[1:nh+1])
+	} else {
+		simd.AddShr1Row(odd[:nh-1], high[:nh-1], even[:nh-1], even[1:nh])
+		odd[nh-1] = high[nh-1] + ((even[nh-1] + even[nh-1]) >> 1)
+	}
+	simd.Interleave2Row(x, even, odd)
+	if nl > nh {
+		x[n-1] = even[nl-1]
+	}
 }
 
 // horizontal53 runs the 1-D 5/3 filter (or its inverse) over every row

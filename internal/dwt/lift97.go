@@ -299,7 +299,12 @@ func Fwd97Line(x []float32, tmp []float32) {
 	copy(x, tmp[:n])
 }
 
-// Inv97Line reverses Fwd97Line.
+// Inv97Line reverses Fwd97Line. The four un-lifting recurrences run as
+// row-kernel sweeps along the line; a - c*(s) and a + (-c)*(s) are the
+// same IEEE value (negation is a sign flip, the product rounds once
+// either way), so routing through AddMulRow with negated constants is
+// bit-identical to the subtracting loop form. Only the boundary-clamped
+// first and last samples are scalar.
 func Inv97Line(x []float32, tmp []float32) {
 	n := len(x)
 	if n <= 1 {
@@ -307,46 +312,42 @@ func Inv97Line(x []float32, tmp []float32) {
 	}
 	nl, nh := (n+1)/2, n/2
 	low, high := tmp[:nl], tmp[nl:n]
-	copy(low, x[:nl])
-	copy(high, x[nl:n])
-	for k := range low {
-		low[k] *= float32(K97)
+	simd.MulConstRow(low, x[:nl], float32(K97))
+	simd.MulConstRow(high, x[nl:n], float32(InvK97))
+
+	// lowLift: low[k] += c*(high[k-1] + high[k]), indices clamped to
+	// [0, nh-1] — the k = 0 head always clamps, and for odd lengths the
+	// k = nl-1 tail does too.
+	m := nl
+	if nh < nl {
+		m = nh
 	}
-	for k := range high {
-		high[k] *= float32(InvK97)
-	}
-	cd := func(k int) float32 {
-		if k < 0 {
-			k = 0
+	lowLift := func(c float32) {
+		low[0] += c * (high[0] + high[0])
+		simd.AddMulRow(low[1:m], low[1:m], high[:m-1], high[1:m], c)
+		if nh < nl {
+			low[nl-1] += c * (high[nh-1] + high[nh-1])
 		}
-		if k > nh-1 {
-			k = nh - 1
+	}
+	// highLift: high[k] += c*(low[k] + low[k+1]), the k+1 clamped to
+	// nl-1 (only reached for the last sample of even lengths).
+	highLift := func(c float32) {
+		if nl > nh {
+			simd.AddMulRow(high, high, low[:nh], low[1:nh+1], c)
+		} else {
+			simd.AddMulRow(high[:nh-1], high[:nh-1], low[:nh-1], low[1:nh], c)
+			high[nh-1] += c * (low[nh-1] + low[nh-1])
 		}
-		return high[k]
 	}
-	for k := 0; k < nl; k++ {
-		low[k] -= float32(Delta97) * (cd(k-1) + cd(k))
-	}
-	ce := func(k int) float32 {
-		if k > nl-1 {
-			k = nl - 1
-		}
-		return low[k]
-	}
-	for k := 0; k < nh; k++ {
-		high[k] -= float32(Gamma97) * (ce(k) + ce(k+1))
-	}
-	for k := 0; k < nl; k++ {
-		low[k] -= float32(Beta97) * (cd(k-1) + cd(k))
-	}
-	for k := 0; k < nh; k++ {
-		high[k] -= float32(Alpha97) * (ce(k) + ce(k+1))
-	}
-	for k := 0; k < nl; k++ {
-		x[2*k] = low[k]
-	}
-	for k := 0; k < nh; k++ {
-		x[2*k+1] = high[k]
+
+	lowLift(-float32(Delta97))
+	highLift(-float32(Gamma97))
+	lowLift(-float32(Beta97))
+	highLift(-float32(Alpha97))
+
+	simd.Interleave2FRow(x, low, high)
+	if nl > nh {
+		x[n-1] = low[nl-1]
 	}
 }
 

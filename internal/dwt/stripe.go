@@ -51,3 +51,41 @@ func Horizontal97Rows(data []float32, lw, stride, y0, y1 int, tmp []float32) {
 		Fwd97Line(data[r*stride:r*stride+lw], tmp)
 	}
 }
+
+// InvVertical53Stripe runs the vertical 5/3 synthesis over the column
+// group [x0, x0+cw) of an lh-high region. aux needs AuxLen(cw, lh)
+// words. Like its forward counterpart, the recurrence never mixes
+// columns, so disjoint column groups may run concurrently and the
+// result is bit-identical to the corresponding columns of a full-width
+// inverse sweep.
+func InvVertical53Stripe(data []int32, x0, cw, lh, stride int, aux []int32) {
+	inverseVertical53(data[x0:], cw, lh, stride, aux)
+}
+
+// InvVertical97Stripe is the irreversible analogue of
+// InvVertical53Stripe.
+func InvVertical97Stripe(data []float32, x0, cw, lh, stride int, aux []float32) {
+	inverseVertical97(data[x0:], cw, lh, stride, aux)
+}
+
+// InvHorizontal53Rows applies the 1-D 5/3 synthesis to rows [y0, y1) of
+// the lw-wide region. tmp needs lw words.
+func InvHorizontal53Rows(data []int32, lw, stride, y0, y1 int, tmp []int32) {
+	if lw <= 1 {
+		return
+	}
+	for r := y0; r < y1; r++ {
+		Inv53Line(data[r*stride:r*stride+lw], tmp)
+	}
+}
+
+// InvHorizontal97Rows is the irreversible analogue of
+// InvHorizontal53Rows.
+func InvHorizontal97Rows(data []float32, lw, stride, y0, y1 int, tmp []float32) {
+	if lw <= 1 {
+		return
+	}
+	for r := y0; r < y1; r++ {
+		Inv97Line(data[r*stride:r*stride+lw], tmp)
+	}
+}

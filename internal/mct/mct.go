@@ -38,12 +38,7 @@ func ForwardRCTRow(r, g, b []int32, depth int) {
 // overflow.
 func InverseRCTRow(y, cb, cr []int32, depth int) {
 	off := int32(1) << (depth - 1)
-	for i := range y {
-		g := y[i] - ((cb[i] + cr[i]) >> 2)
-		r := cr[i] + g
-		b := cb[i] + g
-		y[i], cb[i], cr[i] = r+off, g+off, b+off
-	}
+	simd.InverseRCTRow(y, cb, cr, off)
 }
 
 // ICT coefficients from ITU-T T.800 (identical to the ITU-R BT.601
@@ -71,23 +66,26 @@ func ForwardICTRow(r, g, b []int32, y, cb, cr []float32, depth int) {
 }
 
 // InverseICTRow undoes ForwardICTRow, rounding to the nearest integer
-// and re-applying the level shift.
+// (halves away from zero) and re-applying the level shift.
 func InverseICTRow(y, cb, cr []float32, r, g, b []int32, depth int) {
-	off := float32(int32(1) << (depth - 1))
-	for i := range y {
-		yy, ub, vr := y[i], cb[i], cr[i]
-		rf := yy + 1.402*vr + off
-		gf := yy - 0.344136*ub - 0.714136*vr + off
-		bf := yy + 1.772*ub + off
-		r[i] = roundF(rf)
-		g[i] = roundF(gf)
-		b[i] = roundF(bf)
+	p := simd.ICTInvParams{
+		Off: float32(int32(1) << (depth - 1)),
+		RCr: 1.402,
+		GCb: 0.344136, GCr: 0.714136,
+		BCb: 1.772,
 	}
+	simd.InverseICTRow(y, cb, cr, r, g, b, &p)
 }
 
-func roundF(v float32) int32 {
-	if v >= 0 {
-		return int32(v + 0.5)
-	}
-	return -int32(-v + 0.5)
+// RoundShiftRow is the single-component inverse of the level shift on
+// the float path: dst[i] = round(src[i] + 2^(depth-1)), halves away
+// from zero.
+func RoundShiftRow(src []float32, dst []int32, depth int) {
+	off := float32(int32(1) << (depth - 1))
+	simd.RoundAddRow(dst, src, off)
+}
+
+// ClampRow clamps a reconstructed row into [0, 2^depth - 1] in place.
+func ClampRow(row []int32, depth int) {
+	simd.ClampRow(row, int32(1)<<depth-1)
 }

@@ -48,3 +48,50 @@ func ShiftToFloatRows(src []int32, dst []float32, w, sstride, dstride, y0, y1, d
 		}
 	}
 }
+
+// InverseRCTRows undoes the reversible color transform (including the
+// level unshift) in place on rows [y0, y1) of three equal-stride
+// planes.
+func InverseRCTRows(y, cb, cr []int32, w, stride, y0, y1, depth int) {
+	for row := y0; row < y1; row++ {
+		off := row * stride
+		InverseRCTRow(y[off:off+w], cb[off:off+w], cr[off:off+w], depth)
+	}
+}
+
+// UnshiftRows re-applies the DC level shift in place to rows [y0, y1)
+// of a plane.
+func UnshiftRows(p []int32, w, stride, y0, y1, depth int) {
+	for y := y0; y < y1; y++ {
+		off := y * stride
+		UnshiftRow(p[off:off+w], depth)
+	}
+}
+
+// InverseICTRows undoes the irreversible color transform for rows
+// [y0, y1), reading float planes (stride sstride) and writing rounded
+// integer planes (stride dstride).
+func InverseICTRows(y, cb, cr []float32, r, g, b []int32, w, sstride, dstride, y0, y1, depth int) {
+	for row := y0; row < y1; row++ {
+		so, do := row*sstride, row*dstride
+		InverseICTRow(y[so:so+w], cb[so:so+w], cr[so:so+w],
+			r[do:do+w], g[do:do+w], b[do:do+w], depth)
+	}
+}
+
+// RoundShiftRows is the single-component inverse of ShiftToFloatRows:
+// unshift while rounding back to integers for rows [y0, y1).
+func RoundShiftRows(src []float32, dst []int32, w, sstride, dstride, y0, y1, depth int) {
+	for row := y0; row < y1; row++ {
+		RoundShiftRow(src[row*sstride:row*sstride+w], dst[row*dstride:row*dstride+w], depth)
+	}
+}
+
+// ClampRows clamps rows [y0, y1) of a reconstructed plane into
+// [0, 2^depth - 1] in place.
+func ClampRows(p []int32, w, stride, y0, y1, depth int) {
+	for y := y0; y < y1; y++ {
+		off := y * stride
+		ClampRow(p[off:off+w], depth)
+	}
+}

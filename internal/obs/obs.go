@@ -47,14 +47,21 @@ const (
 	StageT2                   // Tier-2 packet assembly
 	StageFrame                // codestream framing
 	StageCalib                // one-time synthesis-gain measurement (dwt.BandGain)
-	StageTile                 // whole-tile job envelope (tiled encodes)
+	StageTile                 // whole-tile job envelope (tiled encodes/decodes)
 	StageEncode               // whole-encode envelope (coordinator lane)
+	StageZero                 // decode: pooled-plane clearing (row stripes)
+	StageDeq                  // decode: dequantization (per component × band)
+	StageIDWTVert             // decode: vertical inverse lifting (column groups)
+	StageIDWTHorz             // decode: horizontal inverse filtering (row stripes)
+	StageIMCT                 // decode: inverse component transform + clamp (row stripes)
+	StageDecode               // whole-decode envelope (coordinator lane)
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"mct", "dwt-v", "dwt-h", "quant", "t1", "hull",
 	"rate", "t2", "frame", "calib", "tile", "encode",
+	"zero", "deq", "idwt-v", "idwt-h", "imct", "decode",
 }
 
 func (s Stage) String() string {
@@ -66,7 +73,7 @@ func (s Stage) String() string {
 
 // envelope reports whether spans of this stage enclose other stages'
 // spans (and so must not contribute to busy/concurrency accounting).
-func (s Stage) envelope() bool { return s == StageTile || s == StageEncode }
+func (s Stage) envelope() bool { return s == StageTile || s == StageEncode || s == StageDecode }
 
 // Counter identifies one global atomic counter.
 type Counter uint8
@@ -94,6 +101,8 @@ const (
 	CtrKernelSSE2                    // encodes run with the SSE2 kernel set
 	CtrKernelAVX2                    // encodes run with the AVX2 kernel set
 	CtrFaultPanics                   // worker panics contained into typed FaultErrors
+	CtrDecodeParts                   // dynamic T1-decode partitions formed
+	CtrDecodeSingles                 // expensive blocks isolated as singleton partitions
 	numCounters
 )
 
@@ -107,6 +116,7 @@ var counterNames = [numCounters]string{
 	"rate_probes", "hulls",
 	"kernel_scalar_encodes", "kernel_sse2_encodes", "kernel_avx2_encodes",
 	"fault_contained_panics",
+	"decode_t1_partitions", "decode_t1_singletons",
 }
 
 // KernelCounter maps a simd kernel-set name ("scalar", "sse2", "avx2")
@@ -406,7 +416,7 @@ func (r *Recorder) TSpans() []TSpan {
 // spanName renders a stage plus its argument ("dwt-v L2", "tile 3").
 func spanName(st Stage, arg, idx int32) string {
 	switch st {
-	case StageDWTVert, StageDWTHorz:
+	case StageDWTVert, StageDWTHorz, StageIDWTVert, StageIDWTHorz:
 		return st.String() + " L" + itoa(int(arg))
 	case StageTile:
 		return "tile " + itoa(int(idx))

@@ -43,17 +43,11 @@ func QuantizeBlock(dst []int32, dstStride int, src []float32, srcStride, w, h in
 // midpoint: v = sign(q) * (|q| + 0.5) * Δ for q != 0. Tier-1 decoding
 // of truncated blocks already folds in the midpoint of the missing
 // planes, so here the 0.5 accounts only for the sub-LSB remainder.
+// The branchy sign split of the scalar form equals one unconditional
+// add of a sign-carrying 0.5 bias, which is what the vector kernel
+// performs.
 func DequantizeRow(dst []float32, src []int32, delta float32) {
-	for i, q := range src {
-		switch {
-		case q > 0:
-			dst[i] = (float32(q) + 0.5) * delta
-		case q < 0:
-			dst[i] = (float32(q) - 0.5) * delta
-		default:
-			dst[i] = 0
-		}
-	}
+	simd.DequantRow(dst, src, delta)
 }
 
 // MaxBitplanes bounds the number of magnitude bit planes a band's

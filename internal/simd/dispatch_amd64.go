@@ -35,15 +35,22 @@ var sse2Set = kernels{
 	addMulScaleF32: addMulScaleF32SSE2,
 	mulConstF32:    mulConstF32SSE2,
 	quantF32:       quantF32SSE2,
+	dequantF32:     dequantF32SSE2,
 	ictFwd:         ictFwdSSE2,
+	ictInv:         ictInvSSE2,
+	roundAddF32:    roundAddF32SSE2,
 	addShr1I32:     addShr1I32SSE2,
 	subShr1I32:     subShr1I32SSE2,
 	addShr2I32:     addShr2I32SSE2,
 	subShr2I32:     subShr2I32SSE2,
 	addConstI32:    addConstI32SSE2,
 	rctFwd:         rctFwdSSE2,
+	rctInv:         rctInvSSE2,
+	clampI32:       clampI32SSE2,
 	fixAddMul:      fixAddMulSSE2,
 	fixScale:       fixScaleSSE2,
+	il2I32:         il2I32SSE2,
+	il2F32:         il2F32SSE2,
 	absOr:          absOrSSE2,
 	orU32:          orU32SSE2,
 	signOr:         signOrSSE2,
@@ -55,15 +62,22 @@ var avx2Set = kernels{
 	addMulScaleF32: addMulScaleF32AVX2,
 	mulConstF32:    mulConstF32AVX2,
 	quantF32:       quantF32AVX2,
+	dequantF32:     dequantF32AVX2,
 	ictFwd:         ictFwdAVX2,
+	ictInv:         ictInvAVX2,
+	roundAddF32:    roundAddF32AVX2,
 	addShr1I32:     addShr1I32AVX2,
 	subShr1I32:     subShr1I32AVX2,
 	addShr2I32:     addShr2I32AVX2,
 	subShr2I32:     subShr2I32AVX2,
 	addConstI32:    addConstI32AVX2,
 	rctFwd:         rctFwdAVX2,
+	rctInv:         rctInvAVX2,
+	clampI32:       clampI32AVX2,
 	fixAddMul:      fixAddMulAVX2,
 	fixScale:       fixScaleAVX2,
+	il2I32:         il2I32AVX2,
+	il2F32:         il2F32AVX2,
 	absOr:          absOrAVX2,
 	orU32:          orU32AVX2,
 	signOr:         signOrAVX2,

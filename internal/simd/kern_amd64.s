@@ -1109,3 +1109,542 @@ loop:
 done:
 	MOVQ AX, n+56(FP)
 	RET
+
+// ---------------------------------------------------------------------
+// dequantF32: dst[i] = (float32(q) ± 0.5) * delta with q's sign, and 0
+// where q == 0. The bias is built as 0.5 OR'd with q's sign bit, so the
+// negative branch computes f + (-0.5) — bitwise identical to the scalar
+// f - 0.5. CVTDQ2PS rounds int32→float32 to nearest even, matching gc's
+// scalar CVTSI2SS.
+// ---------------------------------------------------------------------
+
+// func dequantF32AVX2(dst []float32, src []int32, delta float32) (n int)
+TEXT ·dequantF32AVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), DX
+	VBROADCASTSS delta+48(FP), Y0
+	MOVL $0x3F000000, AX     // 0.5f
+	MOVQ AX, X1
+	VPBROADCASTD X1, Y8
+	MOVL $0x80000000, AX     // sign bit
+	MOVQ AX, X1
+	VPBROADCASTD X1, Y9
+	VPXOR Y10, Y10, Y10      // zero
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU   (SI)(CX*4), Y1 // q
+	VCVTDQ2PS Y1, Y2         // float32(q)
+	VPAND     Y9, Y1, Y3     // sign bit of q
+	VPOR      Y8, Y3, Y3     // ±0.5
+	VADDPS    Y3, Y2, Y2
+	VMULPS    Y0, Y2, Y2     // * delta
+	VPCMPEQD  Y10, Y1, Y4    // all-ones where q == 0
+	VPANDN    Y2, Y4, Y2     // force 0 there
+	VMOVUPS   Y2, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+56(FP)
+	RET
+
+// func dequantF32SSE2(dst []float32, src []int32, delta float32) (n int)
+TEXT ·dequantF32SSE2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), DX
+	MOVSS  delta+48(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVL   $0x3F000000, AX   // 0.5f
+	MOVQ   AX, X8
+	PSHUFL $0x00, X8, X8
+	MOVL   $0x80000000, AX   // sign bit
+	MOVQ   AX, X9
+	PSHUFL $0x00, X9, X9
+	PXOR   X10, X10          // zero
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU    (SI)(CX*4), X1  // q
+	MOVOU    X1, X2
+	CVTPL2PS X2, X2          // float32(q)
+	MOVOU    X1, X3
+	PAND     X9, X3          // sign bit
+	POR      X8, X3          // ±0.5
+	ADDPS    X3, X2
+	MULPS    X0, X2          // * delta
+	MOVOU    X1, X4
+	PCMPEQL  X10, X4         // all-ones where q == 0
+	PANDN    X2, X4          // force 0 there
+	MOVUPS   X4, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+56(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// rctInv: inverse reversible color transform + level unshift, in place.
+//   g = y - ((cb+cr)>>2);  r = cr+g;  b = cb+g
+//   y,cb,cr = r+off, g+off, b+off
+// ---------------------------------------------------------------------
+
+// func rctInvAVX2(y, cb, cr []int32, off int32) (n int)
+TEXT ·rctInvAVX2(SB), NOSPLIT, $0-88
+	MOVQ y_base+0(FP), SI
+	MOVQ y_len+8(FP), DX
+	MOVQ cb_base+24(FP), R8
+	MOVQ cr_base+48(FP), R9
+	MOVL off+72(FP), AX
+	MOVQ AX, X7
+	VPBROADCASTD X7, Y7
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (R8)(CX*4), Y1   // cb
+	VMOVDQU (R9)(CX*4), Y2   // cr
+	VPADDD  Y2, Y1, Y3
+	VPSRAD  $2, Y3, Y3       // (cb+cr)>>2
+	VMOVDQU (SI)(CX*4), Y0   // y
+	VPSUBD  Y3, Y0, Y0       // g
+	VPADDD  Y0, Y2, Y4       // r
+	VPADDD  Y0, Y1, Y5       // b
+	VPADDD  Y7, Y4, Y4
+	VPADDD  Y7, Y0, Y0
+	VPADDD  Y7, Y5, Y5
+	VMOVDQU Y4, (SI)(CX*4)
+	VMOVDQU Y0, (R8)(CX*4)
+	VMOVDQU Y5, (R9)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+80(FP)
+	RET
+
+// func rctInvSSE2(y, cb, cr []int32, off int32) (n int)
+TEXT ·rctInvSSE2(SB), NOSPLIT, $0-88
+	MOVQ y_base+0(FP), SI
+	MOVQ y_len+8(FP), DX
+	MOVQ cb_base+24(FP), R8
+	MOVQ cr_base+48(FP), R9
+	MOVL   off+72(FP), AX
+	MOVQ   AX, X7
+	PSHUFL $0x00, X7, X7
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (R8)(CX*4), X1     // cb
+	MOVOU (R9)(CX*4), X2     // cr
+	MOVOU X1, X3
+	PADDL X2, X3
+	PSRAL $2, X3             // (cb+cr)>>2
+	MOVOU (SI)(CX*4), X0     // y
+	PSUBL X3, X0             // g
+	MOVOU X2, X4
+	PADDL X0, X4             // r
+	MOVOU X1, X5
+	PADDL X0, X5             // b
+	PADDL X7, X4
+	PADDL X7, X0
+	PADDL X7, X5
+	MOVOU X4, (SI)(CX*4)
+	MOVOU X0, (R8)(CX*4)
+	MOVOU X5, (R9)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+80(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// ictInv: inverse irreversible color transform + level unshift with
+// round-half-away-from-zero:
+//   r = round((yy + RCr*cr) + off)
+//   g = round(((yy - GCb*cb) - GCr*cr) + off)
+//   b = round((yy + BCb*cb) + off)
+// round(v) = sign-restore(trunc(|v| + 0.5)): |v| via an AND mask, the
+// sign as a PSRAD $31 all-ones mask, negation as (x XOR m) - m. This
+// reproduces the scalar roundHalfAway on every lane, including the
+// 0x80000000 overflow/NaN result of the truncating conversion.
+// ICTInvParams field offsets: Off=0 RCr=4 GCb=8 GCr=12 BCb=16.
+// ---------------------------------------------------------------------
+
+// func ictInvAVX2(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) (n int)
+TEXT ·ictInvAVX2(SB), NOSPLIT, $0-160
+	MOVQ y_base+0(FP), SI
+	MOVQ y_len+8(FP), DX
+	MOVQ cb_base+24(FP), R8
+	MOVQ cr_base+48(FP), R9
+	MOVQ r_base+72(FP), R10
+	MOVQ g_base+96(FP), R11
+	MOVQ b_base+120(FP), R12
+	MOVQ p+144(FP), BX
+	VBROADCASTSS 0(BX), Y15  // off
+	VBROADCASTSS 4(BX), Y11  // RCr
+	VBROADCASTSS 8(BX), Y12  // GCb
+	VBROADCASTSS 12(BX), Y13 // GCr
+	VBROADCASTSS 16(BX), Y14 // BCb
+	MOVL $0x3F000000, AX     // 0.5f
+	MOVQ AX, X8
+	VPBROADCASTD X8, Y8
+	MOVL $0x7FFFFFFF, AX     // abs mask
+	MOVQ AX, X9
+	VPBROADCASTD X9, Y9
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVUPS (SI)(CX*4), Y0   // yy
+	VMOVUPS (R8)(CX*4), Y1   // cb
+	VMOVUPS (R9)(CX*4), Y2   // cr
+
+	VMULPS Y2, Y11, Y3       // RCr*cr
+	VADDPS Y3, Y0, Y3
+	VADDPS Y15, Y3, Y3       // rf
+	VPSRAD $31, Y3, Y4
+	VPAND  Y9, Y3, Y3
+	VADDPS Y8, Y3, Y3
+	VCVTTPS2DQ Y3, Y3
+	VPXOR  Y4, Y3, Y3
+	VPSUBD Y4, Y3, Y3
+	VMOVDQU Y3, (R10)(CX*4)
+
+	VMULPS Y1, Y12, Y3       // GCb*cb
+	VSUBPS Y3, Y0, Y3        // yy - GCb*cb
+	VMULPS Y2, Y13, Y5       // GCr*cr
+	VSUBPS Y5, Y3, Y3
+	VADDPS Y15, Y3, Y3       // gf
+	VPSRAD $31, Y3, Y4
+	VPAND  Y9, Y3, Y3
+	VADDPS Y8, Y3, Y3
+	VCVTTPS2DQ Y3, Y3
+	VPXOR  Y4, Y3, Y3
+	VPSUBD Y4, Y3, Y3
+	VMOVDQU Y3, (R11)(CX*4)
+
+	VMULPS Y1, Y14, Y3       // BCb*cb
+	VADDPS Y3, Y0, Y3
+	VADDPS Y15, Y3, Y3       // bf
+	VPSRAD $31, Y3, Y4
+	VPAND  Y9, Y3, Y3
+	VADDPS Y8, Y3, Y3
+	VCVTTPS2DQ Y3, Y3
+	VPXOR  Y4, Y3, Y3
+	VPSUBD Y4, Y3, Y3
+	VMOVDQU Y3, (R12)(CX*4)
+
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+152(FP)
+	RET
+
+// func ictInvSSE2(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) (n int)
+TEXT ·ictInvSSE2(SB), NOSPLIT, $0-160
+	MOVQ y_base+0(FP), SI
+	MOVQ y_len+8(FP), DX
+	MOVQ cb_base+24(FP), R8
+	MOVQ cr_base+48(FP), R9
+	MOVQ r_base+72(FP), R10
+	MOVQ g_base+96(FP), R11
+	MOVQ b_base+120(FP), R12
+	MOVQ p+144(FP), BX
+	MOVSS  0(BX), X5
+	SHUFPS $0x00, X5, X5     // off
+	MOVSS  4(BX), X6
+	SHUFPS $0x00, X6, X6     // RCr
+	MOVSS  8(BX), X7
+	SHUFPS $0x00, X7, X7     // GCb
+	MOVSS  12(BX), X8
+	SHUFPS $0x00, X8, X8     // GCr
+	MOVSS  16(BX), X9
+	SHUFPS $0x00, X9, X9     // BCb
+	MOVL   $0x3F000000, AX   // 0.5f
+	MOVQ   AX, X10
+	PSHUFL $0x00, X10, X10
+	MOVL   $0x7FFFFFFF, AX   // abs mask
+	MOVQ   AX, X11
+	PSHUFL $0x00, X11, X11
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVUPS (SI)(CX*4), X0    // yy
+	MOVUPS (R8)(CX*4), X1    // cb
+	MOVUPS (R9)(CX*4), X2    // cr
+
+	MOVAPS X6, X3
+	MULPS  X2, X3            // RCr*cr
+	ADDPS  X0, X3
+	ADDPS  X5, X3            // rf
+	MOVAPS X3, X4
+	PSRAL  $31, X4
+	PAND   X11, X3
+	ADDPS  X10, X3
+	CVTTPS2PL X3, X3
+	PXOR   X4, X3
+	PSUBL  X4, X3
+	MOVOU  X3, (R10)(CX*4)
+
+	MOVAPS X7, X3
+	MULPS  X1, X3            // GCb*cb
+	MOVAPS X0, X12
+	SUBPS  X3, X12           // yy - GCb*cb
+	MOVAPS X8, X3
+	MULPS  X2, X3            // GCr*cr
+	SUBPS  X3, X12
+	ADDPS  X5, X12           // gf
+	MOVAPS X12, X4
+	PSRAL  $31, X4
+	PAND   X11, X12
+	ADDPS  X10, X12
+	CVTTPS2PL X12, X12
+	PXOR   X4, X12
+	PSUBL  X4, X12
+	MOVOU  X12, (R11)(CX*4)
+
+	MOVAPS X9, X3
+	MULPS  X1, X3            // BCb*cb
+	ADDPS  X0, X3
+	ADDPS  X5, X3            // bf
+	MOVAPS X3, X4
+	PSRAL  $31, X4
+	PAND   X11, X3
+	ADDPS  X10, X3
+	CVTTPS2PL X3, X3
+	PXOR   X4, X3
+	PSUBL  X4, X3
+	MOVOU  X3, (R12)(CX*4)
+
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+152(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// roundAddF32: dst[i] = roundHalfAway(src[i] + off) — the inverse level
+// shift of a float component decoded without the color transform. Same
+// rounding sequence as ictInv.
+// ---------------------------------------------------------------------
+
+// func roundAddF32AVX2(dst []int32, src []float32, off float32) (n int)
+TEXT ·roundAddF32AVX2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), DX
+	VBROADCASTSS off+48(FP), Y0
+	MOVL $0x3F000000, AX     // 0.5f
+	MOVQ AX, X8
+	VPBROADCASTD X8, Y8
+	MOVL $0x7FFFFFFF, AX     // abs mask
+	MOVQ AX, X9
+	VPBROADCASTD X9, Y9
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVUPS (SI)(CX*4), Y1
+	VADDPS  Y0, Y1, Y1       // v = src + off
+	VPSRAD  $31, Y1, Y4
+	VPAND   Y9, Y1, Y1
+	VADDPS  Y8, Y1, Y1
+	VCVTTPS2DQ Y1, Y1
+	VPXOR   Y4, Y1, Y1
+	VPSUBD  Y4, Y1, Y1
+	VMOVDQU Y1, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+56(FP)
+	RET
+
+// func roundAddF32SSE2(dst []int32, src []float32, off float32) (n int)
+TEXT ·roundAddF32SSE2(SB), NOSPLIT, $0-64
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), DX
+	MOVSS  off+48(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVL   $0x3F000000, AX   // 0.5f
+	MOVQ   AX, X8
+	PSHUFL $0x00, X8, X8
+	MOVL   $0x7FFFFFFF, AX   // abs mask
+	MOVQ   AX, X9
+	PSHUFL $0x00, X9, X9
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVUPS (SI)(CX*4), X1
+	ADDPS  X0, X1            // v = src + off
+	MOVAPS X1, X4
+	PSRAL  $31, X4
+	PAND   X9, X1
+	ADDPS  X8, X1
+	CVTTPS2PL X1, X1
+	PXOR   X4, X1
+	PSUBL  X4, X1
+	MOVOU  X1, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+56(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// clampI32: dst[i] = min(max(dst[i], 0), max), in place.
+// ---------------------------------------------------------------------
+
+// func clampI32AVX2(dst []int32, max int32) (n int)
+TEXT ·clampI32AVX2(SB), NOSPLIT, $0-40
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVL max+24(FP), AX
+	MOVQ AX, X1
+	VPBROADCASTD X1, Y1
+	VPXOR Y2, Y2, Y2
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (DI)(CX*4), Y0
+	VPMAXSD Y2, Y0, Y0
+	VPMINSD Y1, Y0, Y0
+	VMOVDQU Y0, (DI)(CX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+32(FP)
+	RET
+
+// func clampI32SSE2(dst []int32, max int32) (n int)
+// SSE2 has no packed signed 32-bit min/max; build them from PCMPGTL
+// select masks.
+TEXT ·clampI32SSE2(SB), NOSPLIT, $0-40
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVL   max+24(FP), AX
+	MOVQ   AX, X1
+	PSHUFL $0x00, X1, X1
+	PXOR   X2, X2
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU   (DI)(CX*4), X0
+	MOVOU   X2, X3
+	PCMPGTL X0, X3           // all-ones where 0 > v
+	PANDN   X0, X3           // v, or 0 where negative
+	MOVOU   X3, X4
+	PCMPGTL X1, X4           // all-ones where v > max
+	MOVOU   X4, X5
+	PAND    X1, X5           // max where over
+	PANDN   X3, X4           // v where not over
+	POR     X5, X4
+	MOVOU   X4, (DI)(CX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+32(FP)
+	RET
+
+// ---------------------------------------------------------------------
+// il2: dst[2i] = even[i], dst[2i+1] = odd[i] for i < len(odd) — the
+// interleave step of the inverse lifting lines. Pure data movement, so
+// the float variants jump to the int bodies (identical frame layout).
+// ---------------------------------------------------------------------
+
+// func il2I32AVX2(dst, even, odd []int32) (n int)
+TEXT ·il2I32AVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ even_base+24(FP), SI
+	MOVQ odd_base+48(FP), R8
+	MOVQ odd_len+56(FP), DX
+	MOVQ DX, AX
+	ANDQ $-8, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	VMOVDQU (SI)(CX*4), Y0   // e0..e7
+	VMOVDQU (R8)(CX*4), Y1   // o0..o7
+	VPUNPCKLDQ Y1, Y0, Y2    // e0,o0,e1,o1 | e4,o4,e5,o5
+	VPUNPCKHDQ Y1, Y0, Y3    // e2,o2,e3,o3 | e6,o6,e7,o7
+	VPERM2I128 $0x20, Y3, Y2, Y4
+	VPERM2I128 $0x31, Y3, Y2, Y5
+	MOVQ CX, BX
+	SHLQ $1, BX
+	VMOVDQU Y4, (DI)(BX*4)
+	VMOVDQU Y5, 32(DI)(BX*4)
+	ADDQ $8, CX
+	JMP  loop
+done:
+	VZEROUPPER
+	MOVQ AX, n+72(FP)
+	RET
+
+// func il2I32SSE2(dst, even, odd []int32) (n int)
+TEXT ·il2I32SSE2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ even_base+24(FP), SI
+	MOVQ odd_base+48(FP), R8
+	MOVQ odd_len+56(FP), DX
+	MOVQ DX, AX
+	ANDQ $-4, AX
+	XORQ CX, CX
+loop:
+	CMPQ CX, AX
+	JGE  done
+	MOVOU (SI)(CX*4), X0     // e0..e3
+	MOVOU (R8)(CX*4), X1     // o0..o3
+	MOVOU X0, X2
+	PUNPCKLLQ X1, X2         // e0,o0,e1,o1
+	PUNPCKHLQ X1, X0         // e2,o2,e3,o3
+	MOVQ CX, BX
+	SHLQ $1, BX
+	MOVOU X2, (DI)(BX*4)
+	MOVOU X0, 16(DI)(BX*4)
+	ADDQ $4, CX
+	JMP  loop
+done:
+	MOVQ AX, n+72(FP)
+	RET
+
+// func il2F32AVX2(dst, even, odd []float32) (n int)
+TEXT ·il2F32AVX2(SB), NOSPLIT, $0-80
+	JMP ·il2I32AVX2(SB)
+
+// func il2F32SSE2(dst, even, odd []float32) (n int)
+TEXT ·il2F32SSE2(SB), NOSPLIT, $0-80
+	JMP ·il2I32SSE2(SB)

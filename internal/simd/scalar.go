@@ -34,12 +34,53 @@ func scalarQuantF32(dst []int32, src []float32, inv float32) {
 	}
 }
 
+func scalarDequantF32(dst []float32, src []int32, delta float32) {
+	for i, q := range src {
+		switch {
+		case q > 0:
+			dst[i] = (float32(q) + 0.5) * delta
+		case q < 0:
+			dst[i] = (float32(q) - 0.5) * delta
+		default:
+			dst[i] = 0
+		}
+	}
+}
+
+// roundHalfAway rounds to the nearest integer with halves away from
+// zero, identical to the decoder's original inline expression (and to
+// the vector abs→+0.5→truncate→restore-sign sequence).
+func roundHalfAway(v float32) int32 {
+	if v >= 0 {
+		return int32(v + 0.5)
+	}
+	return -int32(-v + 0.5)
+}
+
+func scalarRoundAddF32(dst []int32, src []float32, off float32) {
+	for i, s := range src {
+		dst[i] = roundHalfAway(s + off)
+	}
+}
+
 func scalarICTFwd(r, g, b []int32, y, cb, cr []float32, p *ICTParams) {
 	for i := range r {
 		rr, gg, bb := float32(r[i])-p.Off, float32(g[i])-p.Off, float32(b[i])-p.Off
 		y[i] = p.YR*rr + p.YG*gg + p.YB*bb
 		cb[i] = p.CbR*rr + p.CbG*gg + p.CbB*bb
 		cr[i] = p.CrR*rr + p.CrG*gg + p.CrB*bb
+	}
+}
+
+func scalarICTInv(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) {
+	for i := range y {
+		yy, ub, vr := y[i], cb[i], cr[i]
+		rf := yy + p.RCr*vr + p.Off
+		gf := yy - p.GCb*ub - p.GCr*vr + p.Off
+		bf := yy + p.BCb*ub + p.Off
+		r[i] = roundHalfAway(rf)
+		g[i] = roundHalfAway(gf)
+		b[i] = roundHalfAway(bf)
 	}
 }
 
@@ -80,6 +121,39 @@ func scalarRCTFwd(r, g, b []int32, off int32) {
 		cb := bb - gg
 		cr := rr - gg
 		r[i], g[i], b[i] = y, cb, cr
+	}
+}
+
+func scalarRCTInv(y, cb, cr []int32, off int32) {
+	for i := range y {
+		g := y[i] - ((cb[i] + cr[i]) >> 2)
+		r := cr[i] + g
+		b := cb[i] + g
+		y[i], cb[i], cr[i] = r+off, g+off, b+off
+	}
+}
+
+func scalarClampI32(dst []int32, max int32) {
+	for i, v := range dst {
+		if v < 0 {
+			dst[i] = 0
+		} else if v > max {
+			dst[i] = max
+		}
+	}
+}
+
+func scalarInterleave2I32(dst, even, odd []int32) {
+	for i := range odd {
+		dst[2*i] = even[i]
+		dst[2*i+1] = odd[i]
+	}
+}
+
+func scalarInterleave2F32(dst, even, odd []float32) {
+	for i := range odd {
+		dst[2*i] = even[i]
+		dst[2*i+1] = odd[i]
 	}
 }
 

@@ -53,7 +53,10 @@ type kernels struct {
 	addMulScaleF32 func(s, b, c []float32, k, scale float32) int
 	mulConstF32    func(dst, src []float32, k float32) int
 	quantF32       func(dst []int32, src []float32, inv float32) int
+	dequantF32     func(dst []float32, src []int32, delta float32) int
 	ictFwd         func(r, g, b []int32, y, cb, cr []float32, p *ICTParams) int
+	ictInv         func(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) int
+	roundAddF32    func(dst []int32, src []float32, off float32) int
 
 	addShr1I32  func(dst, a, b, c []int32) int
 	subShr1I32  func(dst, a, b, c []int32) int
@@ -61,8 +64,12 @@ type kernels struct {
 	subShr2I32  func(dst, a, b, c []int32) int
 	addConstI32 func(dst []int32, k int32) int
 	rctFwd      func(r, g, b []int32, off int32) int
+	rctInv      func(y, cb, cr []int32, off int32) int
+	clampI32    func(dst []int32, max int32) int
 	fixAddMul   func(d, b, c []int32, k int32) int
 	fixScale    func(dst []int32, k int32) int
+	il2I32      func(dst, even, odd []int32) int
+	il2F32      func(dst, even, odd []float32) int
 
 	absOr  func(mag []uint32, coef []int32) (int, uint32)
 	orU32  func(dst, src []uint32) int
@@ -155,6 +162,28 @@ func QuantizeRow(dst []int32, src []float32, inv float32) {
 	scalarQuantF32(dst[i:], src[i:], inv)
 }
 
+// DequantRow is the inverse of QuantizeRow: midpoint reconstruction
+// dst[i] = (src[i] ± 0.5) * delta with the sign of src[i], and exactly
+// 0 where src[i] is 0. len(dst) must be at least len(src).
+func DequantRow(dst []float32, src []int32, delta float32) {
+	i := 0
+	if f := active.Load().dequantF32; f != nil && len(dst) >= len(src) {
+		i = f(dst, src, delta)
+	}
+	scalarDequantF32(dst[i:], src[i:], delta)
+}
+
+// RoundAddRow computes dst[i] = round(src[i] + off) with halves rounded
+// away from zero — the inverse level shift of a float component decoded
+// without the color transform. len(dst) must be at least len(src).
+func RoundAddRow(dst []int32, src []float32, off float32) {
+	i := 0
+	if f := active.Load().roundAddF32; f != nil && len(dst) >= len(src) {
+		i = f(dst, src, off)
+	}
+	scalarRoundAddF32(dst[i:], src[i:], off)
+}
+
 // ICTParams carries the level-shift offset and the nine ICT matrix
 // weights for ForwardICTRow, in the order the kernel reads them.
 type ICTParams struct {
@@ -174,6 +203,29 @@ func ForwardICTRow(r, g, b []int32, y, cb, cr []float32, p *ICTParams) {
 		i = f(r, g, b, y, cb, cr, p)
 	}
 	scalarICTFwd(r[i:], g[i:], b[i:], y[i:], cb[i:], cr[i:], p)
+}
+
+// ICTInvParams carries the level-shift offset and the four inverse ICT
+// weights (applied with the signs of the scalar expressions: R adds
+// RCr·Cr, G subtracts GCb·Cb and GCr·Cr, B adds BCb·Cb).
+type ICTInvParams struct {
+	Off      float32
+	RCr      float32
+	GCb, GCr float32
+	BCb      float32
+}
+
+// InverseICTRow applies the merged inverse irreversible color transform
+// + level unshift: float (Y,Cb,Cr) rows in, rounded integer (R,G,B)
+// rows out, halves rounded away from zero.
+func InverseICTRow(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) {
+	i := 0
+	n := len(y)
+	if f := active.Load().ictInv; f != nil &&
+		len(cb) >= n && len(cr) >= n && len(r) >= n && len(g) >= n && len(b) >= n {
+		i = f(y, cb, cr, r, g, b, p)
+	}
+	scalarICTInv(y[i:], cb[i:], cr[i:], r[i:], g[i:], b[i:], p)
 }
 
 // --- int32 kernels ---
@@ -240,6 +292,52 @@ func ForwardRCTRow(r, g, b []int32, off int32) {
 		i = f(r, g, b, off)
 	}
 	scalarRCTFwd(r[i:], g[i:], b[i:], off)
+}
+
+// InverseRCTRow applies the merged inverse reversible color transform +
+// level unshift in place over (Y,Cb,Cr) rows, leaving (R,G,B).
+func InverseRCTRow(y, cb, cr []int32, off int32) {
+	i := 0
+	n := len(y)
+	if f := active.Load().rctInv; f != nil && len(cb) >= n && len(cr) >= n {
+		i = f(y, cb, cr, off)
+	}
+	scalarRCTInv(y[i:], cb[i:], cr[i:], off)
+}
+
+// ClampRow clamps dst[i] into [0, max] in place — the final sample
+// range clamp after the inverse color transform.
+func ClampRow(dst []int32, max int32) {
+	i := 0
+	if f := active.Load().clampI32; f != nil {
+		i = f(dst, max)
+	}
+	scalarClampI32(dst[i:], max)
+}
+
+// Interleave2Row merges deinterleaved low/high halves back into an
+// interleaved row: dst[2i] = even[i], dst[2i+1] = odd[i] for
+// i < len(odd) — the recombination step of the inverse lifting lines.
+// len(even) must be at least len(odd) and len(dst) at least
+// 2*len(odd); an odd-length row's final lone even sample is the
+// caller's to place.
+func Interleave2Row(dst, even, odd []int32) {
+	i := 0
+	n := len(odd)
+	if f := active.Load().il2I32; f != nil && len(even) >= n && len(dst) >= 2*n {
+		i = f(dst, even, odd)
+	}
+	scalarInterleave2I32(dst[2*i:], even[i:], odd[i:])
+}
+
+// Interleave2FRow is Interleave2Row for float32 rows.
+func Interleave2FRow(dst, even, odd []float32) {
+	i := 0
+	n := len(odd)
+	if f := active.Load().il2F32; f != nil && len(even) >= n && len(dst) >= 2*n {
+		i = f(dst, even, odd)
+	}
+	scalarInterleave2F32(dst[2*i:], even[i:], odd[i:])
 }
 
 // FixAddMulRow computes d[i] += fixmul(k, b[i]+c[i]) in Q13 — the

@@ -409,3 +409,134 @@ func TestKernelReportsName(t *testing.T) {
 		t.Fatalf("active kernel %q not in available set %v", cur, names)
 	}
 }
+
+func TestDequantF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	const delta = 0.0009765625
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			src := randI32(rng, n, 1<<20)
+			if n > 2 {
+				src[0] = 0 // the dead-zone lane must come out exactly 0
+				src[1] = math.MaxInt32
+				src[2] = math.MinInt32
+			}
+			want := make([]float32, n)
+			scalarDequantF32(want, src, delta)
+			got := offF32(make([]float32, n))
+			m := ks.dequantF32(got, src, delta)
+			scalarDequantF32(got[m:], src[m:], delta)
+			eqF32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestICTInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := &ICTInvParams{
+		Off: 128,
+		RCr: 1.402,
+		GCb: 0.344136, GCr: 0.714136,
+		BCb: 1.772,
+	}
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			y, cb, cr := randF32(rng, n), randF32(rng, n), randF32(rng, n)
+			if n > 1 {
+				y[0] = float32(math.NaN()) // truncation overflow lane
+				y[1] = float32(math.Inf(-1))
+			}
+			wr, wg, wb := make([]int32, n), make([]int32, n), make([]int32, n)
+			scalarICTInv(y, cb, cr, wr, wg, wb, p)
+			gr, gg, gb := offI32(make([]int32, n)), offI32(make([]int32, n)), offI32(make([]int32, n))
+			m := ks.ictInv(y, cb, cr, gr, gg, gb, p)
+			scalarICTInv(y[m:], cb[m:], cr[m:], gr[m:], gg[m:], gb[m:], p)
+			eqI32(t, fmt.Sprintf("%s/r/n=%d", ks.name, n), gr, wr)
+			eqI32(t, fmt.Sprintf("%s/g/n=%d", ks.name, n), gg, wg)
+			eqI32(t, fmt.Sprintf("%s/b/n=%d", ks.name, n), gb, wb)
+		}
+	}
+}
+
+func TestRoundAddF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			src := randF32(rng, n)
+			if n > 2 {
+				src[0] = float32(math.Inf(1))
+				src[1] = float32(math.Inf(-1))
+				src[2] = float32(math.NaN())
+			}
+			want := make([]int32, n)
+			scalarRoundAddF32(want, src, 128)
+			got := offI32(make([]int32, n))
+			m := ks.roundAddF32(got, src, 128)
+			scalarRoundAddF32(got[m:], src[m:], 128)
+			eqI32(t, fmt.Sprintf("%s/n=%d", ks.name, n), got, want)
+		}
+	}
+}
+
+func TestRCTInv(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			y0, cb0, cr0 := randI32(rng, n, 1<<12), randI32(rng, n, 1<<12), randI32(rng, n, 1<<12)
+			wy, wcb, wcr := append([]int32(nil), y0...), append([]int32(nil), cb0...), append([]int32(nil), cr0...)
+			scalarRCTInv(wy, wcb, wcr, 128)
+			gy, gcb, gcr := offI32(append([]int32(nil), y0...)), offI32(append([]int32(nil), cb0...)), offI32(append([]int32(nil), cr0...))
+			m := ks.rctInv(gy, gcb, gcr, 128)
+			scalarRCTInv(gy[m:], gcb[m:], gcr[m:], 128)
+			eqI32(t, fmt.Sprintf("%s/r/n=%d", ks.name, n), gy, wy)
+			eqI32(t, fmt.Sprintf("%s/g/n=%d", ks.name, n), gcb, wcb)
+			eqI32(t, fmt.Sprintf("%s/b/n=%d", ks.name, n), gcr, wcr)
+		}
+	}
+}
+
+func TestClampI32(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, max := range []int32{255, 4095, 65535} {
+		for _, ks := range vectorSets() {
+			for _, n := range testLengths {
+				d0 := randI32(rng, n, 1<<17)
+				if n > 1 {
+					d0[0] = math.MinInt32
+					d0[1] = math.MaxInt32
+				}
+				want := append([]int32(nil), d0...)
+				scalarClampI32(want, max)
+				got := offI32(append([]int32(nil), d0...))
+				m := ks.clampI32(got, max)
+				scalarClampI32(got[m:], max)
+				eqI32(t, fmt.Sprintf("%s/max=%d/n=%d", ks.name, max, n), got, want)
+			}
+		}
+	}
+}
+
+func TestInterleave2(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, ks := range vectorSets() {
+		for _, n := range testLengths {
+			// n is the pair count; even gets one extra element so the
+			// odd-total-length layout of the lifting lines is covered.
+			even, odd := randI32(rng, n+1, 1<<30), randI32(rng, n, 1<<30)
+			want := make([]int32, 2*n)
+			scalarInterleave2I32(want, even, odd)
+			got := offI32(make([]int32, 2*n))
+			m := ks.il2I32(got, even, odd)
+			scalarInterleave2I32(got[2*m:], even[m:], odd[m:])
+			eqI32(t, fmt.Sprintf("%s/i32/n=%d", ks.name, n), got, want)
+
+			ef, of := randF32(rng, n+1), randF32(rng, n)
+			wantF := make([]float32, 2*n)
+			scalarInterleave2F32(wantF, ef, of)
+			gotF := offF32(make([]float32, 2*n))
+			mf := ks.il2F32(gotF, ef, of)
+			scalarInterleave2F32(gotF[2*mf:], ef[mf:], of[mf:])
+			eqF32(t, fmt.Sprintf("%s/f32/n=%d", ks.name, n), gotF, wantF)
+		}
+	}
+}

@@ -33,10 +33,28 @@ func quantF32AVX2(dst []int32, src []float32, inv float32) (n int)
 func quantF32SSE2(dst []int32, src []float32, inv float32) (n int)
 
 //go:noescape
+func dequantF32AVX2(dst []float32, src []int32, delta float32) (n int)
+
+//go:noescape
+func dequantF32SSE2(dst []float32, src []int32, delta float32) (n int)
+
+//go:noescape
 func ictFwdAVX2(r, g, b []int32, y, cb, cr []float32, p *ICTParams) (n int)
 
 //go:noescape
 func ictFwdSSE2(r, g, b []int32, y, cb, cr []float32, p *ICTParams) (n int)
+
+//go:noescape
+func ictInvAVX2(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) (n int)
+
+//go:noescape
+func ictInvSSE2(y, cb, cr []float32, r, g, b []int32, p *ICTInvParams) (n int)
+
+//go:noescape
+func roundAddF32AVX2(dst []int32, src []float32, off float32) (n int)
+
+//go:noescape
+func roundAddF32SSE2(dst []int32, src []float32, off float32) (n int)
 
 //go:noescape
 func addShr1I32AVX2(dst, a, b, c []int32) (n int)
@@ -73,6 +91,30 @@ func rctFwdAVX2(r, g, b []int32, off int32) (n int)
 
 //go:noescape
 func rctFwdSSE2(r, g, b []int32, off int32) (n int)
+
+//go:noescape
+func rctInvAVX2(y, cb, cr []int32, off int32) (n int)
+
+//go:noescape
+func rctInvSSE2(y, cb, cr []int32, off int32) (n int)
+
+//go:noescape
+func clampI32AVX2(dst []int32, max int32) (n int)
+
+//go:noescape
+func clampI32SSE2(dst []int32, max int32) (n int)
+
+//go:noescape
+func il2I32AVX2(dst, even, odd []int32) (n int)
+
+//go:noescape
+func il2I32SSE2(dst, even, odd []int32) (n int)
+
+//go:noescape
+func il2F32AVX2(dst, even, odd []float32) (n int)
+
+//go:noescape
+func il2F32SSE2(dst, even, odd []float32) (n int)
 
 //go:noescape
 func fixAddMulAVX2(d, b, c []int32, k int32) (n int)

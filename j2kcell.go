@@ -149,9 +149,13 @@ func DecodeWithContext(ctx context.Context, data []byte, opt DecodeOptions) (*Im
 	return codec.DecodeWithContext(ctx, data, opt)
 }
 
-// DecodeParallel decodes with Tier-1 block decoding spread across
-// `workers` goroutines (0 selects GOMAXPROCS). Output is identical to
-// Decode.
+// DecodeParallel decodes with the full inverse chain — Tier-1 block
+// decoding in partitions sized from each block's coded length,
+// dequantization, the multi-level inverse DWT, and the inverse
+// MCT/level shift — spread across `workers` goroutines (0 selects
+// GOMAXPROCS), mirroring EncodeParallel's stage pipeline. Tiled
+// streams parallelize across tiles. Output is pixel-identical to
+// Decode for every worker count.
 func DecodeParallel(data []byte, workers int) (*Image, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

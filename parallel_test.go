@@ -121,6 +121,50 @@ func TestDecodeParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestDecodeKernelSetsDeterminism is the decode-side ISA × workers
+// matrix: the reconstructed image must be pixel-identical to the
+// scalar sequential decode for every selectable kernel set (the
+// inverse lifting, dequantization, inverse MCT and clamp kernels all
+// carry the same bit-identity contract as the forward ones), every
+// worker count, coding mode, and tiling. Forcing scalar here is
+// equivalent to running with J2K_NOSIMD=1 or the noasm build tag.
+func TestDecodeKernelSetsDeterminism(t *testing.T) {
+	prev := simd.Kernel()
+	defer simd.Use(prev)
+	img := TestImage(97, 61, 7)
+	for _, tc := range parallelCases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, _, err := Encode(img, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := simd.Use("scalar"); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kern := range simd.Available() {
+				if err := simd.Use(kern); err != nil {
+					t.Fatal(err)
+				}
+				for _, w := range []int{1, 2, 8} {
+					t.Run(fmt.Sprintf("%s-workers-%d", kern, w), func(t *testing.T) {
+						got, err := DecodeParallel(data, w)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ref.Equal(got) {
+							t.Fatalf("kernel set %q decode differs from scalar sequential", kern)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
 // TestEncodeSteadyStateAllocs pins the allocation profile of the
 // pooled pipeline: after a warm-up encode has populated the plane,
 // Tier-1, and stripe-scratch arenas, a steady-state encode allocates
@@ -149,6 +193,43 @@ func TestEncodeSteadyStateAllocs(t *testing.T) {
 			t.Logf("allocs/encode = %.0f (bound %.0f)", got, tc.maxPer)
 			if got > tc.maxPer {
 				t.Fatalf("steady-state encode allocates %.0f times, want <= %.0f", got, tc.maxPer)
+			}
+		})
+	}
+}
+
+// TestDecodeSteadyStateAllocs pins pool reuse across the new decode
+// stages: after a warm-up decode has populated the plane and
+// stripe-scratch arenas, a steady-state decode allocates only per-run
+// transients (the output image, packet/block accumulators, per-block
+// codeword copies) — the coefficient planes and the inverse DWT
+// scratch come from the arenas. The bounds have ~1.5x headroom over
+// measured values; a failure means a decode stage stopped recycling.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	img := TestImage(192, 160, 9)
+	for _, tc := range []struct {
+		name   string
+		opt    Options
+		maxPer float64 // allocations per decode
+	}{
+		{"lossless", Options{Lossless: true}, 2200},
+		{"lossy", Options{Rate: 0.2}, 4400},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, _, err := Encode(img, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decode := func() {
+				if _, err := DecodeParallel(data, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			decode() // warm the pools
+			got := testing.AllocsPerRun(10, decode)
+			t.Logf("allocs/decode = %.0f (bound %.0f)", got, tc.maxPer)
+			if got > tc.maxPer {
+				t.Fatalf("steady-state decode allocates %.0f times, want <= %.0f", got, tc.maxPer)
 			}
 		})
 	}
