@@ -28,12 +28,15 @@ bench:
 # runs carry scalar/sse2/avx2 sub-benchmarks, so the SIMD speedup is
 # visible inside the current run even where the baseline has no
 # counterpart; BenchmarkDecodeParallelWorkers sweeps the decode
-# pipeline's worker counts over {lossless, lossy} × {untiled, tiled}.
-BENCH_JSON ?= BENCH_pr6.json
-BENCH_BASELINE ?= bench/baseline_pr5.txt
+# pipeline's worker counts over {lossless, lossy} × {untiled, tiled};
+# the Benchmark_HT* sweep prices the Part 15 high-throughput block
+# coder on the same blocks as Benchmark_T1EncodeBlock, so the MQ→HT
+# speedup ratio reads directly off the merged artifact.
+BENCH_JSON ?= BENCH_pr7.json
+BENCH_BASELINE ?= bench/baseline_pr6.txt
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_Kernel' -benchmem ./internal/simd/ > bench/current.txt
-	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
+	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_HT|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkTable1' -benchmem . >> bench/current.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
 

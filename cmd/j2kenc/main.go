@@ -39,6 +39,7 @@ func main() {
 	rate := flag.Float64("rate", 0, "lossy rate target as a fraction of raw size (e.g. 0.1); implies -lossless=false")
 	levels := flag.Int("levels", 5, "DWT decomposition levels")
 	cb := flag.Int("cb", 64, "code block size (16, 32 or 64)")
+	ht := flag.Bool("ht", false, "use the high-throughput (Part 15) block coder instead of the MQ coder")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "Tier-1 worker goroutines (1 = sequential)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON timeline to this file")
 	report := flag.Bool("report", false, "print the per-stage wall-time / serial-fraction table")
@@ -67,7 +68,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := j2kcell.Options{Lossless: *lossless, Levels: *levels, CBW: *cb, CBH: *cb}
+	opt := j2kcell.Options{Lossless: *lossless, Levels: *levels, CBW: *cb, CBH: *cb, HT: *ht}
 	if *rate > 0 {
 		opt.Lossless = false
 		opt.Rate = *rate

@@ -37,9 +37,14 @@ func main() {
 	if h.Progression == 1 {
 		prog = "RLCP"
 	}
+	coder := "MQ"
+	if h.HT {
+		coder = "HT (high throughput)"
+	}
 	fmt.Printf("%s: %dx%d, %d component(s) @ %d bit, %s\n", *in, h.W, h.H, h.NComp, h.Depth, mode)
 	fmt.Printf("  %d DWT levels, %dx%d code blocks, %d layer(s), %s progression, termall=%v\n",
 		h.Levels, h.CBW, h.CBH, h.Layers, prog, h.TermAll)
+	fmt.Printf("  block coder: %s\n", coder)
 	fmt.Printf("  %d packets, %d body bytes, %d total\n\n",
 		len(info.Packets), info.BytesAtResolution(h.Levels), len(data))
 

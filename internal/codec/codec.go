@@ -51,6 +51,13 @@ type Options struct {
 	// then skip to the next marker and keep going, losing only the
 	// damaged packet's blocks instead of the rest of the stream.
 	Resilience bool
+	// HT selects the high-throughput (Part 15 style) block coder for
+	// Tier-1 instead of the MQ arithmetic coder. Lossless output stays
+	// bit-exact; the constrained-lossy path gets three truncation
+	// points per block (cleanup + two raw refinement passes) at a
+	// small rate cost versus MQ. The choice is recorded in the
+	// codestream capability bits, so decoding is automatic.
+	HT bool
 	// VisualWeighting applies contrast-sensitivity (CSF) weights to the
 	// PCRD distortion estimates on the lossy path: the allocator then
 	// spends bytes where the eye is most sensitive (low spatial
@@ -134,6 +141,12 @@ func (o Options) WithDefaults(w, h int) Options {
 // per-pass termination exactly when rate control will truncate or
 // layer boundaries must be independently decodable.
 func (o Options) Mode() t1.Mode {
+	if o.HT {
+		if !o.Lossless && (o.Rate > 0 || len(o.LayerRates) > 0) {
+			return t1.ModeHTRefine
+		}
+		return t1.ModeHT
+	}
 	if !o.Lossless && (o.Rate > 0 || len(o.LayerRates) > 0) {
 		return t1.ModeTermAll
 	}

@@ -171,7 +171,12 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	bands := dwt.Layout(tw, th, h.Levels)
 	mode := t1.ModeSingle
 	style := t2.SegSingle
-	if h.TermAll {
+	switch {
+	case h.HT:
+		// Both HT variants parse identically: per-pass segment lengths
+		// in the packet header, mode dispatch inside t1.Decode.
+		mode, style = t1.ModeHT, t2.SegTermAll
+	case h.TermAll:
 		mode, style = t1.ModeTermAll, t2.SegTermAll
 	}
 	maxLayers := h.Layers
@@ -341,9 +346,13 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	// errors (partitions after the stop never ran, so their slots are
 	// nil, not failures); partitions are contiguous in task order, so
 	// the first non-nil slot is still the earliest failing block.
-	parts := partitionDecodeTasks(tasks, p.workers)
+	parts := partitionDecodeTasks(tasks, p.workers, decodeCostFor(mode))
+	st := obs.StageT1
+	if mode.IsHT() {
+		st = obs.StageT1HT
+	}
 	errs := make([]error, len(parts))
-	p.run(obs.StageT1, 0, len(parts), func(i int) {
+	p.run(st, 0, len(parts), func(i int) {
 		for t := parts[i].lo; t < parts[i].hi; t++ {
 			if err := decodeOne(tasks[t]); err != nil {
 				errs[i] = err

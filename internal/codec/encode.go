@@ -107,7 +107,7 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 			Layers: len(keeps), Progression: int(opt.Progression),
 			SOPMarkers: opt.Resilience,
 			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
-			TermAll: mode == t1.ModeTermAll, BaseDelta: opt.BaseDelta, Mb: mb,
+			TermAll: mode == t1.ModeTermAll, HT: opt.HT, BaseDelta: opt.BaseDelta, Mb: mb,
 		}
 		sp = ln.Begin(obs.StageFrame, 0, 0)
 		data := codestream.Encode(head, body)
@@ -321,8 +321,11 @@ func AssemblePackets(w, h, ncomp int, opt Options, jobs []BlockJob, blocks []*t1
 		byBand[k] = append(byBand[k], i)
 	}
 
+	// HT blocks also carry per-pass segment lengths in the packet
+	// headers: the cleanup/SigProp/MagRef byte streams are separately
+	// terminated by construction, exactly like TermAll MQ segments.
 	style := t2.SegSingle
-	if opt.Mode() == t1.ModeTermAll {
+	if m := opt.Mode(); m == t1.ModeTermAll || m.IsHT() {
 		style = t2.SegTermAll
 	}
 

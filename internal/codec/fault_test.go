@@ -46,7 +46,18 @@ func TestFaultInjectionMatrix(t *testing.T) {
 	rateOpt := Options{Rate: 0.2}
 	tiledOpt := Options{Rate: 0.3, TileW: 64, TileH: 64}
 
+	htOpt := Options{Lossless: true, HT: true}
+	htRateOpt := Options{Rate: 0.2, HT: true}
+
 	base, err := Encode(img, losslessOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htSrc, err := Encode(img, htOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	htRateSrc, err := Encode(img, htRateOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +108,40 @@ func TestFaultInjectionMatrix(t *testing.T) {
 			stages: []string{"zero", "t1", "idwt-h", "idwt-v", "imct"},
 			run: func(w int) error {
 				_, err := DecodeWith(base.Data, DecodeOptions{Workers: w})
+				return err
+			},
+		},
+		{
+			// HT Tier-1 runs under its own stage ("t1ht"), so the coder
+			// swap carries its own fault injection point on both sides.
+			name:   "encode-ht",
+			stages: []string{"mct", "dwt-v", "dwt-h", "t1ht"},
+			run: func(w int) error {
+				_, err := EncodeParallel(img, htOpt, w)
+				return err
+			},
+		},
+		{
+			name:   "encode-ht-rate",
+			stages: []string{"t1ht", "rate"},
+			run: func(w int) error {
+				_, err := EncodeParallel(img, htRateOpt, w)
+				return err
+			},
+		},
+		{
+			name:   "decode-ht",
+			stages: []string{"zero", "t1ht", "idwt-h", "idwt-v", "imct"},
+			run: func(w int) error {
+				_, err := DecodeWith(htSrc.Data, DecodeOptions{Workers: w})
+				return err
+			},
+		},
+		{
+			name:   "decode-ht-lossy",
+			stages: []string{"t1ht", "deq"},
+			run: func(w int) error {
+				_, err := DecodeWith(htRateSrc.Data, DecodeOptions{Workers: w})
 				return err
 			},
 		},

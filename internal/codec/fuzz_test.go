@@ -29,6 +29,8 @@ func fuzzSeeds(tb testing.TB) [][]byte {
 		{Rate: 0.2},
 		{LayerRates: []float64{0.05, 0.2}, Resilience: true},
 		{Lossless: true, TileW: 32, TileH: 32},
+		{Lossless: true, HT: true},
+		{Rate: 0.2, HT: true},
 	} {
 		res, err := Encode(src, opt)
 		if err != nil {

@@ -154,7 +154,7 @@ func InspectLimits(data []byte, lim Limits) (*StreamInfo, error) {
 	body := bodies[0]
 	bands := dwt.Layout(h.W, h.H, h.Levels)
 	style := t2.SegSingle
-	if h.TermAll {
+	if h.TermAll || h.HT {
 		style = t2.SegTermAll
 	}
 	type key struct{ c, b int }

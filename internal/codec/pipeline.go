@@ -416,6 +416,17 @@ func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 	}
 }
 
+// tier1Stage selects the observability stage for a Tier-1 mode: the HT
+// coder runs under its own stage label ("t1ht"), which both separates
+// the two coders' timings in reports and gives HT its own fault
+// injection point (faults.Arm keys on the stage name).
+func tier1Stage(mode t1.Mode) obs.Stage {
+	if mode.IsHT() {
+		return obs.StageT1HT
+	}
+	return obs.StageT1
+}
+
 // Tier1Int codes every block job from the reversible coefficient planes
 // through the shared work queue. When rd is non-nil (rate-constrained
 // encodes), each job also builds its block's R-D ladder and convex hull
@@ -423,7 +434,7 @@ func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 // sequential rate-control tail.
 func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.Mode, rd []rate.BlockRD) []*t1.Block {
 	blocks := make([]*t1.Block, len(jobs))
-	p.run(obs.StageT1, 0, len(jobs), func(i int) {
+	p.run(tier1Stage(mode), 0, len(jobs), func(i int) {
 		j := jobs[i]
 		pl := planes[j.Comp]
 		blocks[i] = t1.Encode(pl.Data[j.Y0*pl.Stride+j.X0:], j.W, j.H, pl.Stride,
@@ -446,7 +457,7 @@ func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.M
 func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt Options, rd []rate.BlockRD) []*t1.Block {
 	mode := opt.Mode()
 	blocks := make([]*t1.Block, len(jobs))
-	p.run(obs.StageT1, 0, len(jobs), func(i int) {
+	p.run(tier1Stage(mode), 0, len(jobs), func(i int) {
 		j := jobs[i]
 		fp := fplanes[j.Comp]
 		delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, j.Band.Orient, j.Band.Level))

@@ -115,7 +115,7 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 		// tiled Tier-1 time (the transform stages are covered by the
 		// inner pipeline's own spans inside ForwardTransform).
 		tln := obs.Acquire()
-		sp := tln.Begin(obs.StageT1, 0, int32(i))
+		sp := tln.Begin(tier1Stage(mode), 0, int32(i))
 		for bi, j := range jobs {
 			p := planes[j.Comp]
 			blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
@@ -173,7 +173,7 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 			Layers: len(keeps), Progression: int(opt.Progression),
 			SOPMarkers: opt.Resilience,
 			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
-			TermAll: mode == t1.ModeTermAll, BaseDelta: opt.BaseDelta, Mb: mb,
+			TermAll: mode == t1.ModeTermAll, HT: opt.HT, BaseDelta: opt.BaseDelta, Mb: mb,
 		}
 		sp.End()
 		sp = ln.Begin(obs.StageFrame, 0, 0)

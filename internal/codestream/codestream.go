@@ -42,6 +42,7 @@ type Header struct {
 	Lossless     bool
 	UseMCT       bool
 	TermAll      bool
+	HT           bool // blocks coded with the high-throughput (Part 15) coder
 	BaseDelta    float64
 	Mb           [][]int // [component][band] coded bit planes
 }
@@ -84,7 +85,11 @@ func EncodeTiles(h *Header, bodies [][]byte) []byte {
 
 	// SIZ.
 	siz := make([]byte, 36+3*h.NComp)
-	put16(siz[0:], 0) // Rsiz: baseline
+	rsiz := 0
+	if h.HT {
+		rsiz = 0x4000 // Part 15 capability: HT code blocks present
+	}
+	put16(siz[0:], rsiz)
 	put32(siz[2:], h.W)
 	put32(siz[6:], h.H)
 	put32(siz[10:], 0) // XOsiz
@@ -129,6 +134,9 @@ func EncodeTiles(h *Header, bodies [][]byte) []byte {
 	cod[7] = byte(log2int(h.CBH) - 2)
 	if h.TermAll {
 		cod[8] = 0x04 // code block style: terminate each pass
+	}
+	if h.HT {
+		cod[8] |= 0x40 // code block style: HT code blocks (HTDECLARED)
 	}
 	if h.Lossless {
 		cod[9] = 1 // 5/3 reversible
@@ -258,6 +266,7 @@ func DecodeTilesLimits(data []byte, lim Limits) (*Header, [][]byte, error) {
 			h.CBW = 1 << (int(p[6]) + 2)
 			h.CBH = 1 << (int(p[7]) + 2)
 			h.TermAll = p[8]&0x04 != 0
+			h.HT = p[8]&0x40 != 0
 			h.Lossless = p[9] == 1
 			if err := lim.checkCOD(h); err != nil {
 				return nil, nil, err

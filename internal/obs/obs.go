@@ -55,6 +55,7 @@ const (
 	StageIDWTHorz             // decode: horizontal inverse filtering (row stripes)
 	StageIMCT                 // decode: inverse component transform + clamp (row stripes)
 	StageDecode               // whole-decode envelope (coordinator lane)
+	StageT1HT                 // Tier-1 block jobs through the HT (Part 15) coder
 	numStages
 )
 
@@ -62,6 +63,7 @@ var stageNames = [numStages]string{
 	"mct", "dwt-v", "dwt-h", "quant", "t1", "hull",
 	"rate", "t2", "frame", "calib", "tile", "encode",
 	"zero", "deq", "idwt-v", "idwt-h", "imct", "decode",
+	"t1ht",
 }
 
 func (s Stage) String() string {
@@ -103,6 +105,8 @@ const (
 	CtrFaultPanics                   // worker panics contained into typed FaultErrors
 	CtrDecodeParts                   // dynamic T1-decode partitions formed
 	CtrDecodeSingles                 // expensive blocks isolated as singleton partitions
+	CtrHTBlocks                      // code blocks coded by the HT (Part 15) coder
+	CtrHTBytes                       // bytes emitted by the HT coder (all streams + trailers)
 	numCounters
 )
 
@@ -117,6 +121,7 @@ var counterNames = [numCounters]string{
 	"kernel_scalar_encodes", "kernel_sse2_encodes", "kernel_avx2_encodes",
 	"fault_contained_panics",
 	"decode_t1_partitions", "decode_t1_singletons",
+	"ht_blocks", "ht_bytes",
 }
 
 // KernelCounter maps a simd kernel-set name ("scalar", "sse2", "avx2")

@@ -62,3 +62,55 @@ func Benchmark_T1DecodeBlock(b *testing.B) {
 		}
 	}
 }
+
+// Benchmark_HTEncodeBlock prices the HT cleanup coder on the exact
+// blocks Benchmark_T1EncodeBlock uses (same seeds, same grid), so the
+// two tables divide directly. PR 7's acceptance floor: HT must be ≥ 3×
+// the MQ coder on the dense blocks.
+func Benchmark_HTEncodeBlock(b *testing.B) {
+	for _, o := range []dwt.Orient{dwt.LL, dwt.HL, dwt.LH, dwt.HH} {
+		for _, kind := range []string{"sparse", "dense"} {
+			for _, n := range []int{32, 64} {
+				coef := benchContent(kind, n, n, uint32(n)+uint32(o)*17+3)
+				b.Run(fmt.Sprintf("%v/%s/%dx%d", o, kind, n, n), func(b *testing.B) {
+					b.SetBytes(int64(4 * n * n))
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						Encode(coef, n, n, n, o, ModeHT, 1.0)
+					}
+				})
+			}
+		}
+	}
+}
+
+// Benchmark_HTEncodeBlockRefine prices the three-pass HT variant
+// (cleanup at plane 1 plus raw SigProp/MagRef), the mode the rate
+// controller truncates; mirrors Benchmark_T1EncodeBlockTermAll.
+func Benchmark_HTEncodeBlockRefine(b *testing.B) {
+	coef := benchContent("dense", 64, 64, 9)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(coef, 64, 64, 64, dwt.HL, ModeHTRefine, 1.0)
+	}
+}
+
+// Benchmark_HTDecodeBlock prices the HT decoder on the same dense block
+// Benchmark_T1DecodeBlock decodes.
+func Benchmark_HTDecodeBlock(b *testing.B) {
+	coef := benchContent("dense", 64, 64, 11)
+	blk := Encode(coef, 64, 64, 64, dwt.HL, ModeHT, 1.0)
+	segLens := make([]int, len(blk.Passes))
+	for i, p := range blk.Passes {
+		segLens[i] = p.SegLen
+	}
+	out := make([]int32, 64*64)
+	b.SetBytes(int64(4 * 64 * 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Decode(out, 64, 64, 64, dwt.HL, ModeHT, blk.NumBPS, len(blk.Passes), blk.Data, segLens); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -25,6 +25,9 @@ type decoder struct {
 // pass set yields the standard midpoint reconstruction of whatever
 // precision each coefficient reached.
 func Decode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, numBPS, numPasses int, data []byte, segLens []int) error {
+	if mode.IsHT() {
+		return decodeHT(coef, w, h, stride, orient, numBPS, numPasses, data, segLens)
+	}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			coef[y*stride+x] = 0

@@ -42,6 +42,9 @@ type encoder struct {
 // tables, mode the termination style, and gain the subband synthesis
 // L2 norm used to weight distortion. The input is not modified.
 func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain float64) *Block {
+	if mode.IsHT() {
+		return encodeHT(coef, w, h, stride, orient, mode, gain)
+	}
 	// invariant: block geometry comes from PlanBlocks, which never emits
 	// empty blocks; encode-side only (decode sizes are clamped to the band).
 	if w <= 0 || h <= 0 {

@@ -1,0 +1,270 @@
+package t1
+
+// HTJ2K (ITU-T T.814 / JPEG2000 Part 15) byte-stream primitives for
+// the FBCOT block coder: one bit packer/unpacker with the HT stuffing
+// rule, shared by the MagSgn, MEL and VLC streams and the raw-bit
+// refinement passes, plus the MEL adaptive run-length coder. The quad
+// scan that drives them lives in ht_encode.go / ht_decode.go; the
+// deviations from the published stream layout (forward VLC with
+// explicit lengths instead of the reversed-suffix arrangement) are
+// documented in DESIGN.md.
+
+// htWriter packs bits LSB-first into bytes with the HT stuffing rule:
+// a byte following an emitted 0xFF carries only 7 payload bits (bit 7
+// forced clear), so no stream interior ever contains 0xFF followed by
+// a byte >= 0x80 — the property the standard relies on to keep
+// codeword segments free of inadvertent marker codes.
+type htWriter struct {
+	buf  []byte
+	acc  uint64 // pending bits, LSB first
+	n    uint   // number of pending bits (< 8 between calls)
+	last byte   // last emitted byte, for the stuffing rule
+}
+
+func (w *htWriter) reset() {
+	w.buf = w.buf[:0]
+	w.acc, w.n, w.last = 0, 0, 0
+}
+
+// put appends the low nb bits of v (nb <= 32).
+func (w *htWriter) put(v uint32, nb uint) {
+	w.acc |= uint64(v) << w.n
+	w.n += nb
+	for {
+		if w.last == 0xFF {
+			if w.n < 7 {
+				return
+			}
+			b := byte(w.acc) & 0x7F
+			w.acc >>= 7
+			w.n -= 7
+			w.buf = append(w.buf, b)
+			w.last = b
+		} else {
+			if w.n < 8 {
+				return
+			}
+			b := byte(w.acc)
+			w.acc >>= 8
+			w.n -= 8
+			w.buf = append(w.buf, b)
+			w.last = b
+		}
+	}
+}
+
+// flush pads the final partial byte with zero bits. The decoder reads
+// exactly the bits the coding process asks for, so the padding is
+// never consumed.
+func (w *htWriter) flush() {
+	for w.n > 0 {
+		var b byte
+		if w.last == 0xFF {
+			b = byte(w.acc) & 0x7F
+			w.acc >>= 7
+			if w.n > 7 {
+				w.n -= 7
+			} else {
+				w.n = 0
+			}
+		} else {
+			b = byte(w.acc)
+			w.acc >>= 8
+			if w.n > 8 {
+				w.n -= 8
+			} else {
+				w.n = 0
+			}
+		}
+		w.buf = append(w.buf, b)
+		w.last = b
+	}
+}
+
+// htReader mirrors htWriter bit for bit. Reads past the end of the
+// stream return zero bits, so a truncated or corrupt pass degrades
+// into zeros instead of panicking; structural damage is caught by the
+// quad-level consistency checks in ht_decode.go.
+type htReader struct {
+	data []byte
+	pos  int
+	acc  uint64
+	n    uint
+	last byte
+}
+
+func (r *htReader) init(data []byte) {
+	r.data, r.pos = data, 0
+	r.acc, r.n, r.last = 0, 0, 0
+}
+
+// get reads nb bits (nb <= 32).
+func (r *htReader) get(nb uint) uint32 {
+	for r.n < nb {
+		var b byte
+		if r.pos < len(r.data) {
+			b = r.data[r.pos]
+			r.pos++
+		}
+		if r.last == 0xFF {
+			r.acc |= uint64(b&0x7F) << r.n
+			r.n += 7
+		} else {
+			r.acc |= uint64(b) << r.n
+			r.n += 8
+		}
+		r.last = b
+	}
+	v := uint32(r.acc & (1<<nb - 1))
+	r.acc >>= nb
+	r.n -= nb
+	return v
+}
+
+// melExponent is the MEL state machine's run-length exponent table
+// (T.814 Table 4): state k codes complete zero-runs of length
+// 2^melExponent[k] in a single bit.
+var melExponent = [13]uint{0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 4, 5}
+
+// melEncoder is the adaptive run-length coder for AZC quad
+// significance: event 0 = "this all-zero-context quad stays empty",
+// event 1 = "it turns significant". Long empty runs in flat regions
+// collapse to one bit per 2^5 quads at the top state.
+type melEncoder struct {
+	w   htWriter
+	k   int    // state 0..12
+	run uint32 // zeros accumulated toward the current threshold
+}
+
+func (m *melEncoder) reset() {
+	m.w.reset()
+	m.k, m.run = 0, 0
+}
+
+func (m *melEncoder) encode(bit int) {
+	if bit == 0 {
+		m.run++
+		if m.run == 1<<melExponent[m.k] {
+			m.w.put(1, 1)
+			m.run = 0
+			if m.k < 12 {
+				m.k++
+			}
+		}
+		return
+	}
+	e := melExponent[m.k]
+	m.w.put(0, 1)
+	if e > 0 {
+		m.w.put(m.run, e)
+	}
+	m.run = 0
+	if m.k > 0 {
+		m.k--
+	}
+}
+
+// encodeZeros codes n consecutive zero events, hopping whole runs at a
+// time — the fast path for all-quiet quad rows, where the encoder's
+// row OR masks prove every quad is AZC and empty without visiting it.
+func (m *melEncoder) encodeZeros(n int) {
+	for n > 0 {
+		need := int(uint32(1)<<melExponent[m.k] - m.run)
+		if n < need {
+			m.run += uint32(n)
+			return
+		}
+		n -= need
+		m.w.put(1, 1)
+		m.run = 0
+		if m.k < 12 {
+			m.k++
+		}
+	}
+}
+
+// flush closes a pending partial run as a complete one (the decoder
+// never consumes the surplus zeros) and flushes the bit packer.
+func (m *melEncoder) flush() {
+	if m.run > 0 {
+		m.w.put(1, 1)
+	}
+	m.w.flush()
+}
+
+// melDecoder mirrors melEncoder event for event.
+type melDecoder struct {
+	r    htReader
+	k    int
+	runs uint32 // pending zero events
+	one  bool   // a pending 1 event after the zeros drain
+}
+
+func (m *melDecoder) init(data []byte) {
+	m.r.init(data)
+	m.k, m.runs, m.one = 0, 0, false
+}
+
+func (m *melDecoder) decode() int {
+	if m.runs > 0 {
+		m.runs--
+		return 0
+	}
+	if m.one {
+		m.one = false
+		return 1
+	}
+	if m.r.get(1) == 1 { // complete run of 2^E[k] zeros
+		m.runs = 1 << melExponent[m.k]
+		if m.k < 12 {
+			m.k++
+		}
+		m.runs--
+		return 0
+	}
+	e := melExponent[m.k] // partial run of r zeros, then a 1
+	var r uint32
+	if e > 0 {
+		r = m.r.get(e)
+	}
+	if m.k > 0 {
+		m.k--
+	}
+	if r > 0 {
+		m.runs = r - 1
+		m.one = true
+		return 0
+	}
+	return 1
+}
+
+// putUExp codes u = U_q − 1, a quad's magnitude-exponent bound, with a
+// short prefix code (read LSB-first): 0 → u=0; 10 → u=1;
+// 110 + 2 bits → u=2..5; 111 + 5 bits → u=6..37.
+func putUExp(w *htWriter, u int) {
+	switch {
+	case u == 0:
+		w.put(0, 1)
+	case u == 1:
+		w.put(1, 2)
+	case u <= 5:
+		w.put(3, 3)
+		w.put(uint32(u-2), 2)
+	default:
+		w.put(7, 3)
+		w.put(uint32(u-6), 5)
+	}
+}
+
+func getUExp(r *htReader) int {
+	if r.get(1) == 0 {
+		return 0
+	}
+	if r.get(1) == 0 {
+		return 1
+	}
+	if r.get(1) == 0 {
+		return 2 + int(r.get(2))
+	}
+	return 6 + int(r.get(5))
+}

@@ -11,9 +11,10 @@ import "sync"
 // pipelines.
 
 var (
-	coderPool   sync.Pool // *coder
-	encoderPool sync.Pool // *encoder
-	int8Pool    sync.Pool // *[]int8 (decoder lastPlane scratch)
+	coderPool     sync.Pool // *coder
+	encoderPool   sync.Pool // *encoder
+	htEncoderPool sync.Pool // *htEncoder
+	int8Pool      sync.Pool // *[]int8 (decoder lastPlane scratch)
 )
 
 // release returns the coder's scratch to the pool.
@@ -36,6 +37,18 @@ func putEncoder(e *encoder) {
 	e.out = nil
 	encoderPool.Put(e)
 }
+
+// getHTEncoder returns a pooled HT encoder shell, retaining the three
+// stream buffers and quad-history capacity across blocks.
+func getHTEncoder() *htEncoder {
+	e, _ := htEncoderPool.Get().(*htEncoder)
+	if e == nil {
+		e = &htEncoder{}
+	}
+	return e
+}
+
+func putHTEncoder(e *htEncoder) { htEncoderPool.Put(e) }
 
 // getInt8 returns a zeroed length-n int8 scratch slice.
 func getInt8(n int) *[]int8 {

@@ -42,7 +42,22 @@ const (
 	// standard's TERMALL style), making every pass boundary an exact,
 	// independently decodable truncation point for rate control.
 	ModeTermAll
+	// ModeHT selects the HTJ2K (ITU-T T.814 / Part 15) FBCOT block
+	// coder instead of the MQ coder: one cleanup pass at plane 0
+	// carrying the MagSgn, MEL and VLC byte streams — an exact
+	// representation of the quantized coefficients (lossless given a
+	// reversible upstream chain), with no truncation points.
+	ModeHT
+	// ModeHTRefine is the rate-control variant of ModeHT: the cleanup
+	// pass runs at plane 1 and HT SigProp + MagRef raw-bit refinement
+	// passes finish plane 0, so PCRD gets three truncation points per
+	// block. Every HT pass is its own byte-aligned segment.
+	ModeHTRefine
 )
+
+// IsHT reports whether the mode selects the HT (Part 15) block coder
+// rather than the MQ coder.
+func (m Mode) IsHT() bool { return m == ModeHT || m == ModeHTRefine }
 
 // PassType identifies one of the three coding passes.
 type PassType int

@@ -313,6 +313,19 @@ func DecodePacketEPH(data []byte, precincts []*Precinct, layer int, style SegSty
 		return 0, err
 	}
 	if ne == 0 {
+		// An empty packet still defines this layer's contributions:
+		// none. Clear any contribution state left from the previous
+		// layer, or a caller iterating Blocks after each packet would
+		// double-count the stale entries.
+		for _, p := range precincts {
+			for _, b := range p.Blocks {
+				if b != nil {
+					b.NumPasses = 0
+					b.Segments = b.Segments[:0]
+					b.Data = nil
+				}
+			}
+		}
 		r.Align()
 		n := r.Pos()
 		if eph {

@@ -424,3 +424,45 @@ func TestEPHPacketRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEmptyPacketClearsStaleContribs pins the layered-decode contract:
+// an empty packet at layer l must leave every block reporting zero
+// contributions, even when layer l-1 filled the same precinct's Blocks.
+// Before the fix, the empty-packet early return skipped the reset and a
+// caller accumulating per-layer contributions double-counted layer
+// l-1's passes and bytes.
+func TestEmptyPacketClearsStaleContribs(t *testing.T) {
+	rng := workload.NewRNG(99)
+	encP := []*Precinct{buildPrecinct(rng, 2, 2, SegTermAll)}
+	pkt0 := EncodePacket(encP, 0)
+	// Layer 1: no block contributes anything further.
+	for _, b := range encP[0].Blocks {
+		if b != nil {
+			b.NumPasses = 0
+		}
+	}
+	pkt1 := EncodePacket(encP, 1)
+
+	dp := []*Precinct{NewPrecinct(2, 2)}
+	if _, err := DecodePacket(pkt0, dp, 0, SegTermAll); err != nil {
+		t.Fatal(err)
+	}
+	saw := 0
+	for _, b := range dp[0].Blocks {
+		if b != nil && b.NumPasses > 0 {
+			saw++
+		}
+	}
+	if saw == 0 {
+		t.Fatal("layer 0 packet carried no contributions; test needs a busier precinct")
+	}
+	if _, err := DecodePacket(pkt1, dp, 1, SegTermAll); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range dp[0].Blocks {
+		if b != nil && (b.NumPasses != 0 || len(b.Data) != 0) {
+			t.Fatalf("block %d: stale layer-0 contribution (passes=%d, %d bytes) survived an empty layer-1 packet",
+				i, b.NumPasses, len(b.Data))
+		}
+	}
+}

@@ -24,6 +24,9 @@ var parallelCases = []struct {
 	{"lossy", Options{Rate: 0.2}},
 	{"lossless-tiled", Options{Lossless: true, TileW: 48, TileH: 32}},
 	{"lossy-tiled", Options{Rate: 0.2, TileW: 48, TileH: 32}},
+	{"lossless-ht", Options{Lossless: true, HT: true}},
+	{"lossy-ht", Options{Rate: 0.2, HT: true}},
+	{"lossless-ht-tiled", Options{Lossless: true, HT: true, TileW: 48, TileH: 32}},
 }
 
 func workerCounts() []int {
