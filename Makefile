@@ -32,8 +32,8 @@ bench:
 # the Benchmark_HT* sweep prices the Part 15 high-throughput block
 # coder on the same blocks as Benchmark_T1EncodeBlock, so the MQ→HT
 # speedup ratio reads directly off the merged artifact.
-BENCH_JSON ?= BENCH_pr7.json
-BENCH_BASELINE ?= bench/baseline_pr6.txt
+BENCH_JSON ?= BENCH_pr8.json
+BENCH_BASELINE ?= bench/baseline_pr7.txt
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_Kernel' -benchmem ./internal/simd/ > bench/current.txt
 	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_HT|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt

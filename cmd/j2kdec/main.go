@@ -21,8 +21,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,24 +54,22 @@ func main() {
 	check(err)
 
 	observe := *traceOut != "" || *report || *metrics || *pprofAddr != ""
-	var rec *obs.Recorder
-	if observe {
-		rec = obs.Enable()
-	}
 	if *pprofAddr != "" {
-		obs.PublishExpvar()
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			fmt.Fprint(w, obs.Active().MetricsTable())
-		})
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "j2kdec: pprof server:", err)
-			}
-		}()
+		addr, err := cli.ServeObs(*pprofAddr)
+		check(err)
+		fmt.Fprintf(os.Stderr, "j2kdec: serving /metrics, /debug/vars, /debug/pprof on %s\n", addr)
 	}
 
 	ctx, cancel := cli.Context(*timeout)
 	defer cancel()
+	// As in j2kenc: the decode is one observed operation with its own
+	// trace ID, rolled into the aggregate registry on finish.
+	var op *obs.Op
+	var rec *obs.Recorder
+	if observe {
+		ctx, op = obs.WithOperation(ctx, "decode")
+		rec = op.Recorder()
+	}
 	start := time.Now()
 	img, err := j2kcell.DecodeWithContext(ctx, data, j2kcell.DecodeOptions{
 		Workers: *workers,
@@ -102,12 +98,13 @@ func main() {
 	fmt.Printf("%s: %dx%d decoded to %s in %v\n", *in, img.W, img.H, *out, elapsed.Round(time.Millisecond))
 
 	if rec != nil {
-		rec.Close()
+		op.Finish()
 		spans := rec.TSpans()
 		if *report {
-			fmt.Printf("simd kernels: %s (available: %s)\n",
-				simd.Kernel(), strings.Join(simd.Available(), ", "))
+			fmt.Printf("trace %s: simd kernels: %s (available: %s)\n",
+				op.TraceID(), simd.Kernel(), strings.Join(simd.Available(), ", "))
 			fmt.Print(obs.BuildReport(spans, *workers).Table())
+			fmt.Print(rec.SLOTable())
 		}
 		if *metrics {
 			fmt.Print(rec.MetricsTable())

@@ -15,8 +15,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -75,24 +73,23 @@ func main() {
 	}
 
 	observe := *traceOut != "" || *report || *metrics || *pprofAddr != ""
-	var rec *obs.Recorder
-	if observe {
-		rec = obs.Enable()
-	}
 	if *pprofAddr != "" {
-		obs.PublishExpvar()
-		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			fmt.Fprint(w, obs.Active().MetricsTable())
-		})
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "j2kenc: pprof server:", err)
-			}
-		}()
+		addr, err := cli.ServeObs(*pprofAddr)
+		check(err)
+		fmt.Fprintf(os.Stderr, "j2kenc: serving /metrics, /debug/vars, /debug/pprof on %s\n", addr)
 	}
 
 	ctx, cancel := cli.Context(*timeout)
 	defer cancel()
+	// The encode runs as one observed operation: the context carries a
+	// per-operation recorder whose totals roll into the aggregate
+	// registry (the /metrics source) when the operation finishes.
+	var op *obs.Op
+	var rec *obs.Recorder
+	if observe {
+		ctx, op = obs.WithOperation(ctx, "encode")
+		rec = op.Recorder()
+	}
 	start := time.Now()
 	data, stats, err := j2kcell.EncodeParallelContext(ctx, img, opt, *workers)
 	check(err)
@@ -109,12 +106,13 @@ func main() {
 		stats.Blocks, stats.TotalPasses)
 
 	if rec != nil {
-		rec.Close()
+		op.Finish()
 		spans := rec.TSpans()
 		if *report {
-			fmt.Printf("simd kernels: %s (available: %s)\n",
-				simd.Kernel(), strings.Join(simd.Available(), ", "))
+			fmt.Printf("trace %s: simd kernels: %s (available: %s)\n",
+				op.TraceID(), simd.Kernel(), strings.Join(simd.Available(), ", "))
 			fmt.Print(obs.BuildReport(spans, *workers).Table())
+			fmt.Print(rec.SLOTable())
 		}
 		if *metrics {
 			fmt.Print(rec.MetricsTable())

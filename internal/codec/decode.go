@@ -3,6 +3,7 @@ package codec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/dwt"
@@ -118,7 +119,30 @@ func DecodeContext(ctx context.Context, data []byte) (*imgmodel.Image, error) {
 // limit-exceeding input surfaces as *FormatError, a contained worker
 // panic as *FaultError, and cancellation as ctx.Err() unwrapped.
 func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (img *imgmodel.Image, err error) {
-	defer containAPIFault("decode", &err)
+	rec := obs.Current(ctx)
+	// SLO envelope. The operation class (lossless/tiled/HT bits) is only
+	// known once the main header parses, so it is latched below;
+	// registered before containAPIFault (LIFO) so a contained panic is
+	// already an error when the outcome is observed.
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	var cls obs.OpClass
+	clsKnown := false
+	defer func() {
+		if rec == nil {
+			return
+		}
+		if err != nil {
+			rec.OpFailed()
+			return
+		}
+		if clsKnown {
+			rec.OpDone(cls, time.Since(start))
+		}
+	}()
+	defer containAPIFault(rec, "decode", &err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -128,7 +152,7 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 	// Whole-decode envelope span (coordinator lane), the decode-side
 	// mirror of EncodeParallel's StageEncode envelope: per-stage busy
 	// time nests under it in the Amdahl report and trace.
-	ln := obs.Acquire()
+	ln := rec.Acquire()
 	total := ln.Begin(obs.StageDecode, 0, 0)
 	defer ln.Release()
 	defer total.End()
@@ -152,7 +176,10 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 			return nil, fmt.Errorf("codec: region %+v outside %dx%d image", r, h.W, h.H)
 		}
 	}
-	if len(bodies) > 1 || h.TileW < h.W || h.TileH < h.H {
+	tiled := len(bodies) > 1 || h.TileW < h.W || h.TileH < h.H
+	cls = obs.ClassOf(true, !h.Lossless, tiled, h.HT)
+	clsKnown = true
+	if tiled {
 		return decodeTiled(ctx, h, bodies, dopt)
 	}
 	tile, err := decodeTile(ctx, h, h.W, h.H, bodies[0], dopt)
@@ -279,7 +306,7 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	// decode independently — serially or across the worker pool.
 	planes := make([]*imgmodel.Plane, h.NComp)
 	for c := range planes {
-		planes[c] = imgmodel.GetPlane(tw, th)
+		planes[c] = imgmodel.GetPlaneObs(tw, th, p.rec)
 	}
 	p.ZeroPlanes(planes)
 	var tasks []blockTask
@@ -329,7 +356,7 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	}
 	decodeOne := func(tk blockTask) error {
 		pl := tk.plane
-		err := t1.Decode(pl.Data[tk.y0*pl.Stride+tk.x0:], tk.bw, tk.bh, pl.Stride,
+		err := t1.DecodeObs(p.rec, pl.Data[tk.y0*pl.Stride+tk.x0:], tk.bw, tk.bh, pl.Stride,
 			tk.orient, mode, tk.numBPS, tk.acc.passes, tk.acc.data, tk.acc.segLens)
 		if err != nil {
 			return formatErrf(err, "block c=%d band=%d (%d,%d)", tk.c, tk.bi, tk.gx, tk.gy)
@@ -346,7 +373,7 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	// errors (partitions after the stop never ran, so their slots are
 	// nil, not failures); partitions are contiguous in task order, so
 	// the first non-nil slot is still the earliest failing block.
-	parts := partitionDecodeTasks(tasks, p.workers, decodeCostFor(mode))
+	parts := partitionDecodeTasks(p.rec, tasks, p.workers, decodeCostFor(mode))
 	st := obs.StageT1
 	if mode.IsHT() {
 		st = obs.StageT1HT

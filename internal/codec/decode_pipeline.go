@@ -56,7 +56,7 @@ func (p *Pipeline) Dequantize(h *codestream.Header, bands []dwt.Band, planes []*
 	w, hh := planes[0].W, planes[0].H
 	fplanes := make([]*imgmodel.FPlane, len(planes))
 	for c := range fplanes {
-		fplanes[c] = imgmodel.GetFPlane(w, hh)
+		fplanes[c] = imgmodel.GetFPlaneObs(w, hh, p.rec)
 	}
 	p.run(obs.StageDeq, 0, len(planes)*len(bands), func(i int) {
 		c, b := i/len(bands), bands[i%len(bands)]
@@ -79,7 +79,7 @@ func (p *Pipeline) Dequantize(h *codestream.Header, bands []dwt.Band, planes []*
 // dwt.InverseLevels53 on each plane.
 func (p *Pipeline) IDWT53(planes []*imgmodel.Plane, levels, stop int) {
 	w, h := planes[0].W, planes[0].H
-	rec := obs.Active()
+	rec := p.rec
 	for l := levels - 1; l >= stop; l-- {
 		lw, lh := dwt.LevelDims(w, h, l)
 		if lw <= 1 && lh <= 1 {
@@ -90,7 +90,7 @@ func (p *Pipeline) IDWT53(planes []*imgmodel.Plane, levels, stop int) {
 			p.run(obs.StageIDWTHorz, int32(l), ns*len(planes), func(i int) {
 				pl := planes[i/ns]
 				y0, y1 := stripeBounds(i%ns, lh)
-				tmp := getI32(lw)
+				tmp := getI32(lw, rec)
 				dwt.InvHorizontal53Rows(pl.Data, lw, pl.Stride, y0, y1, *tmp)
 				putI32(tmp)
 				rec.Add(obs.CtrDWTBytesMoved, int64(y1-y0)*int64(lw)*8)
@@ -101,7 +101,7 @@ func (p *Pipeline) IDWT53(planes []*imgmodel.Plane, levels, stop int) {
 			nc := len(chunks)
 			p.run(obs.StageIDWTVert, int32(l), nc*len(planes), func(i int) {
 				pl, ch := planes[i/nc], chunks[i%nc]
-				aux := getI32(dwt.AuxLen(ch.W, lh))
+				aux := getI32(dwt.AuxLen(ch.W, lh), rec)
 				dwt.InvVertical53Stripe(pl.Data, ch.X0, ch.W, lh, pl.Stride, *aux)
 				putI32(aux)
 				rec.Add(obs.CtrDWTBytesMoved, int64(ch.W)*int64(lh)*8)
@@ -114,7 +114,7 @@ func (p *Pipeline) IDWT53(planes []*imgmodel.Plane, levels, stop int) {
 // dwt.InverseLevels97 on each plane.
 func (p *Pipeline) IDWT97(fplanes []*imgmodel.FPlane, levels, stop int) {
 	w, h := fplanes[0].W, fplanes[0].H
-	rec := obs.Active()
+	rec := p.rec
 	for l := levels - 1; l >= stop; l-- {
 		lw, lh := dwt.LevelDims(w, h, l)
 		if lw <= 1 && lh <= 1 {
@@ -125,7 +125,7 @@ func (p *Pipeline) IDWT97(fplanes []*imgmodel.FPlane, levels, stop int) {
 			p.run(obs.StageIDWTHorz, int32(l), ns*len(fplanes), func(i int) {
 				pl := fplanes[i/ns]
 				y0, y1 := stripeBounds(i%ns, lh)
-				tmp := getF32(lw)
+				tmp := getF32(lw, rec)
 				dwt.InvHorizontal97Rows(pl.Data, lw, pl.Stride, y0, y1, *tmp)
 				putF32(tmp)
 				rec.Add(obs.CtrDWTBytesMoved, int64(y1-y0)*int64(lw)*8)
@@ -136,7 +136,7 @@ func (p *Pipeline) IDWT97(fplanes []*imgmodel.FPlane, levels, stop int) {
 			nc := len(chunks)
 			p.run(obs.StageIDWTVert, int32(l), nc*len(fplanes), func(i int) {
 				pl, ch := fplanes[i/nc], chunks[i%nc]
-				aux := getF32(dwt.AuxLen(ch.W, lh))
+				aux := getF32(dwt.AuxLen(ch.W, lh), rec)
 				dwt.InvVertical97Stripe(pl.Data, ch.X0, ch.W, lh, pl.Stride, *aux)
 				putF32(aux)
 				rec.Add(obs.CtrDWTBytesMoved, int64(ch.W)*int64(lh)*8)
@@ -247,7 +247,7 @@ func (m t1CostModel) of(t *blockTask) int { return m.floor + len(t.acc.data)/m.b
 // queue overhead proportional to actual decode time. Partition
 // boundaries never change decoded pixels (blocks write disjoint plane
 // regions); they only shape the queue's load balance.
-func partitionDecodeTasks(tasks []blockTask, workers int, model t1CostModel) []decodePart {
+func partitionDecodeTasks(rec *obs.Recorder, tasks []blockTask, workers int, model t1CostModel) []decodePart {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -274,7 +274,7 @@ func partitionDecodeTasks(tasks []blockTask, workers int, model t1CostModel) []d
 		acc += c
 	}
 	parts = append(parts, decodePart{lo: lo, hi: len(tasks)})
-	if rec := obs.Active(); rec != nil {
+	if rec != nil {
 		singles := int64(0)
 		for _, pt := range parts {
 			if pt.hi-pt.lo == 1 && cost(&tasks[pt.lo]) >= target {

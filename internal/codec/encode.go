@@ -86,6 +86,13 @@ func Finish(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bloc
 // result is byte-identical to Finish for every combination — hulls and
 // selections are deterministic functions of the ladders.
 func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Block, rd []rate.BlockRD, workers int) *Result {
+	return finishRD(obs.Active(), img, opt, jobs, blocks, rd, workers)
+}
+
+// finishRD is FinishRD recording against an explicit recorder: the
+// pipelined entry points pass the operation recorder they resolved
+// from the context, the public wrappers the ambient one.
+func finishRD(rec *obs.Recorder, img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Block, rd []rate.BlockRD, workers int) *Result {
 	opt = opt.WithDefaults(img.W, img.H)
 	w, h := img.W, img.H
 	ncomp := len(img.Comps)
@@ -94,7 +101,7 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 	// The finish stages — PCRD rate control, Tier-2 assembly, framing —
 	// run on this coordinator lane; in the Amdahl report they are the
 	// sequential tail the paper measures in Table 2.
-	ln := obs.Acquire()
+	ln := rec.Acquire()
 	defer ln.Release()
 
 	build := func(keeps [][]int) ([]byte, []byte) {
@@ -128,7 +135,7 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 		// overhead-retry loop, so hulls are computed at most once per
 		// block per encode.
 		sp := ln.Begin(obs.StageRate, 0, 0)
-		keeps = allocateLayersRD(rd, img, opt, rates, 0, workers)
+		keeps = allocateLayersRD(rec, rd, img, opt, rates, 0, workers)
 		sp.End()
 	}
 	data, body := build(keeps)
@@ -139,7 +146,7 @@ func FinishRD(img *imgmodel.Image, opt Options, jobs []BlockJob, blocks []*t1.Bl
 		retry := int32(1)
 		for extra := 16; len(data) > target && extra < target; extra *= 2 {
 			sp := ln.Begin(obs.StageRate, 0, retry)
-			keeps = allocateLayersRD(rd, img, opt, rates, len(data)-target+extra, workers)
+			keeps = allocateLayersRD(rec, rd, img, opt, rates, len(data)-target+extra, workers)
 			sp.End()
 			retry++
 			data, body = build(keeps)
@@ -218,7 +225,7 @@ func BuildLadders(blocks []*t1.Block) []rate.BlockRD {
 // cumulative rate targets, returning per-layer cumulative pass counts
 // (monotone per block, as layer l extends layer l-1).
 func AllocateLayers(blocks []*t1.Block, jobs []BlockJob, img *imgmodel.Image, opt Options, cumRates []float64, extraOverhead int) [][]int {
-	return allocateLayersRD(BuildLadders(blocks), img, opt, cumRates, extraOverhead, 1)
+	return allocateLayersRD(obs.Active(), BuildLadders(blocks), img, opt, cumRates, extraOverhead, 1)
 }
 
 // allocateLayersRD is the ladder-level core of AllocateLayers. The
@@ -226,7 +233,7 @@ func AllocateLayers(blocks []*t1.Block, jobs []BlockJob, img *imgmodel.Image, op
 // the Tier-1 jobs) and reused across layers and overhead retries; the
 // per-layer truncation search fans out over `workers`. Selections are
 // identical for every worker count and hull provenance.
-func allocateLayersRD(rd []rate.BlockRD, img *imgmodel.Image, opt Options, cumRates []float64, extraOverhead, workers int) [][]int {
+func allocateLayersRD(rec *obs.Recorder, rd []rate.BlockRD, img *imgmodel.Image, opt Options, cumRates []float64, extraOverhead, workers int) [][]int {
 	raw := img.W * img.H * len(img.Comps) * img.Depth / 8
 	final := cumRates[len(cumRates)-1]
 	keeps := make([][]int, len(cumRates))
@@ -246,7 +253,7 @@ func allocateLayersRD(rd []rate.BlockRD, img *imgmodel.Image, opt Options, cumRa
 				overhead += extraOverhead
 			}
 			budget := int(r*float64(raw)) - overhead
-			keeps[l] = rate.AllocateParallel(rd, budget, workers)
+			keeps[l] = rate.AllocateParallelObs(rec, rd, budget, workers)
 		}
 		// Layers are embedded: each extends the previous selection.
 		if prev != nil {

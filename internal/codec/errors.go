@@ -80,10 +80,11 @@ func asFault(r any, stage string, lane, job, arg int) *FaultError {
 // containAPIFault is the deferred recover wrapper of the public encode
 // and decode entry points: any panic that escapes the per-job
 // containment (the sequential finish tail, the PCRD fan-out re-raise)
-// becomes a *FaultError instead of crossing the API.
-func containAPIFault(stage string, err *error) {
+// becomes a *FaultError instead of crossing the API. The contained
+// panic is counted on the operation's recorder (nil-safe).
+func containAPIFault(rec *obs.Recorder, stage string, err *error) {
 	if r := recover(); r != nil {
-		obs.Count(obs.CtrFaultPanics)
+		rec.Add(obs.CtrFaultPanics, 1)
 		*err = asFault(r, stage, -1, -1, 0)
 	}
 }

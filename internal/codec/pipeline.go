@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"j2kcell/internal/decomp"
 	"j2kcell/internal/dwt"
@@ -48,6 +49,7 @@ type Pipeline struct {
 	workers int
 	ctx     context.Context
 	done    <-chan struct{} // ctx.Done(), cached (nil for Background)
+	rec     *obs.Recorder   // resolved once: ctx op recorder, else ambient, else nil
 
 	aborted atomic.Bool // fast stop flag checked between job claims
 	mu      sync.Mutex
@@ -72,7 +74,10 @@ func NewPipelineContext(ctx context.Context, workers int) *Pipeline {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Pipeline{workers: workers, ctx: ctx, done: ctx.Done()}
+	// Resolve the recorder once per operation: the context's per-op
+	// recorder (obs.WithOperation) wins, else the ambient one; every
+	// stage hook below then pays a plain nil check, not a context walk.
+	return &Pipeline{workers: workers, ctx: ctx, done: ctx.Done(), rec: obs.Current(ctx)}
 }
 
 // Workers reports the pool width.
@@ -135,7 +140,7 @@ func (p *Pipeline) stopped() bool {
 func (p *Pipeline) job(st obs.Stage, arg int32, lane, i int, fn func(int)) {
 	defer func() {
 		if r := recover(); r != nil {
-			obs.Count(obs.CtrFaultPanics)
+			p.rec.Add(obs.CtrFaultPanics, 1)
 			p.Fail(asFault(r, st.String(), lane, i, int(arg)))
 		}
 	}()
@@ -170,7 +175,7 @@ func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) error {
 	if n <= 0 || p.stopped() {
 		return p.Err()
 	}
-	rec := obs.Active()
+	rec := p.rec
 	rec.Add(obs.CtrQueueRuns, 1)
 	rec.Add(obs.CtrQueueJobs, int64(n))
 	nw := p.workers
@@ -220,14 +225,14 @@ var (
 	f32Pool sync.Pool // *[]float32
 )
 
-func getI32(n int) *[]int32 {
+func getI32(n int, rec *obs.Recorder) *[]int32 {
 	p, _ := i32Pool.Get().(*[]int32)
 	if p == nil {
-		obs.Count(obs.CtrPoolScratchMiss)
+		rec.Add(obs.CtrPoolScratchMiss, 1)
 		s := make([]int32, n)
 		return &s
 	}
-	obs.Count(obs.CtrPoolScratchHit)
+	rec.Add(obs.CtrPoolScratchHit, 1)
 	if cap(*p) < n {
 		*p = make([]int32, n)
 	} else {
@@ -238,14 +243,14 @@ func getI32(n int) *[]int32 {
 
 func putI32(p *[]int32) { i32Pool.Put(p) }
 
-func getF32(n int) *[]float32 {
+func getF32(n int, rec *obs.Recorder) *[]float32 {
 	p, _ := f32Pool.Get().(*[]float32)
 	if p == nil {
-		obs.Count(obs.CtrPoolScratchMiss)
+		rec.Add(obs.CtrPoolScratchMiss, 1)
 		s := make([]float32, n)
 		return &s
 	}
-	obs.Count(obs.CtrPoolScratchHit)
+	rec.Add(obs.CtrPoolScratchHit, 1)
 	if cap(*p) < n {
 		*p = make([]float32, n)
 	} else {
@@ -278,7 +283,7 @@ func (p *Pipeline) MCTInt(img *imgmodel.Image, opt Options) []*imgmodel.Plane {
 	w, h := img.W, img.H
 	planes := make([]*imgmodel.Plane, len(img.Comps))
 	for c := range planes {
-		planes[c] = imgmodel.GetPlane(w, h)
+		planes[c] = imgmodel.GetPlaneObs(w, h, p.rec)
 	}
 	useMCT := len(planes) == 3
 	p.run(obs.StageMCT, 0, stripes(h), func(s int) {
@@ -306,7 +311,7 @@ func (p *Pipeline) MCTFloat(img *imgmodel.Image, opt Options) []*imgmodel.FPlane
 	w, h := img.W, img.H
 	fplanes := make([]*imgmodel.FPlane, len(img.Comps))
 	for c := range fplanes {
-		fplanes[c] = imgmodel.GetFPlane(w, h)
+		fplanes[c] = imgmodel.GetFPlaneObs(w, h, p.rec)
 	}
 	useMCT := len(fplanes) == 3
 	p.run(obs.StageMCT, 0, stripes(h), func(s int) {
@@ -360,13 +365,13 @@ func (p *Pipeline) levelPlan(w, h, levels int) []dwtLevel {
 // Bit-identical to dwt.Forward53 on each plane.
 func (p *Pipeline) DWT53(planes []*imgmodel.Plane, opt Options) {
 	w, h := planes[0].W, planes[0].H
-	rec := obs.Active()
+	rec := p.rec
 	for li, lv := range p.levelPlan(w, h, opt.Levels) {
 		if lv.lh > 1 {
 			nc := len(lv.chunks)
 			p.run(obs.StageDWTVert, int32(li), nc*len(planes), func(i int) {
 				pl, ch := planes[i/nc], lv.chunks[i%nc]
-				aux := getI32(dwt.AuxLen(ch.W, lv.lh))
+				aux := getI32(dwt.AuxLen(ch.W, lv.lh), rec)
 				dwt.Vertical53Stripe(pl.Data, ch.X0, ch.W, lv.lh, pl.Stride, *aux)
 				putI32(aux)
 				rec.Add(obs.CtrDWTBytesMoved, int64(ch.W)*int64(lv.lh)*8)
@@ -377,7 +382,7 @@ func (p *Pipeline) DWT53(planes []*imgmodel.Plane, opt Options) {
 			p.run(obs.StageDWTHorz, int32(li), ns*len(planes), func(i int) {
 				pl := planes[i/ns]
 				y0, y1 := stripeBounds(i%ns, lv.lh)
-				tmp := getI32(lv.lw)
+				tmp := getI32(lv.lw, rec)
 				dwt.Horizontal53Rows(pl.Data, lv.lw, pl.Stride, y0, y1, *tmp)
 				putI32(tmp)
 				rec.Add(obs.CtrDWTBytesMoved, int64(y1-y0)*int64(lv.lw)*8)
@@ -390,13 +395,13 @@ func (p *Pipeline) DWT53(planes []*imgmodel.Plane, opt Options) {
 // dwt.Forward97 on each plane.
 func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 	w, h := fplanes[0].W, fplanes[0].H
-	rec := obs.Active()
+	rec := p.rec
 	for li, lv := range p.levelPlan(w, h, opt.Levels) {
 		if lv.lh > 1 {
 			nc := len(lv.chunks)
 			p.run(obs.StageDWTVert, int32(li), nc*len(fplanes), func(i int) {
 				pl, ch := fplanes[i/nc], lv.chunks[i%nc]
-				aux := getF32(dwt.AuxLen(ch.W, lv.lh))
+				aux := getF32(dwt.AuxLen(ch.W, lv.lh), rec)
 				dwt.Vertical97Stripe(pl.Data, ch.X0, ch.W, lv.lh, pl.Stride, *aux)
 				putF32(aux)
 				rec.Add(obs.CtrDWTBytesMoved, int64(ch.W)*int64(lv.lh)*8)
@@ -407,7 +412,7 @@ func (p *Pipeline) DWT97(fplanes []*imgmodel.FPlane, opt Options) {
 			p.run(obs.StageDWTHorz, int32(li), ns*len(fplanes), func(i int) {
 				pl := fplanes[i/ns]
 				y0, y1 := stripeBounds(i%ns, lv.lh)
-				tmp := getF32(lv.lw)
+				tmp := getF32(lv.lw, rec)
 				dwt.Horizontal97Rows(pl.Data, lv.lw, pl.Stride, y0, y1, *tmp)
 				putF32(tmp)
 				rec.Add(obs.CtrDWTBytesMoved, int64(y1-y0)*int64(lv.lw)*8)
@@ -437,11 +442,11 @@ func (p *Pipeline) Tier1Int(planes []*imgmodel.Plane, jobs []BlockJob, mode t1.M
 	p.run(tier1Stage(mode), 0, len(jobs), func(i int) {
 		j := jobs[i]
 		pl := planes[j.Comp]
-		blocks[i] = t1.Encode(pl.Data[j.Y0*pl.Stride+j.X0:], j.W, j.H, pl.Stride,
+		blocks[i] = t1.EncodeObs(p.rec, pl.Data[j.Y0*pl.Stride+j.X0:], j.W, j.H, pl.Stride,
 			j.Band.Orient, mode, j.Gain)
 		if rd != nil {
 			rd[i] = LadderOf(blocks[i])
-			rd[i].ComputeHull()
+			rd[i].ComputeHullObs(p.rec)
 		}
 	})
 	return blocks
@@ -461,13 +466,13 @@ func (p *Pipeline) Tier1Float(fplanes []*imgmodel.FPlane, jobs []BlockJob, opt O
 		j := jobs[i]
 		fp := fplanes[j.Comp]
 		delta := float32(quant.StepFor(opt.BaseDelta, opt.Levels, j.Band.Orient, j.Band.Level))
-		buf := getI32(j.W * j.H)
+		buf := getI32(j.W*j.H, p.rec)
 		quant.QuantizeBlock(*buf, j.W, fp.Data[j.Y0*fp.Stride+j.X0:], fp.Stride, j.W, j.H, delta)
-		blocks[i] = t1.Encode(*buf, j.W, j.H, j.W, j.Band.Orient, mode, j.Gain)
+		blocks[i] = t1.EncodeObs(p.rec, *buf, j.W, j.H, j.W, j.Band.Orient, mode, j.Gain)
 		putI32(buf)
 		if rd != nil {
 			rd[i] = LadderOf(blocks[i])
-			rd[i].ComputeHull()
+			rd[i].ComputeHullObs(p.rec)
 		}
 	})
 	return blocks
@@ -482,7 +487,7 @@ func (p *Pipeline) QuantizePlanes(fplanes []*imgmodel.FPlane, opt Options) []*im
 	bands := dwt.Layout(w, h, opt.Levels)
 	planes := make([]*imgmodel.Plane, len(fplanes))
 	for c := range planes {
-		planes[c] = imgmodel.GetPlane(w, h)
+		planes[c] = imgmodel.GetPlaneObs(w, h, p.rec)
 	}
 	// One job per (component, band); the subbands tile the plane, so
 	// every live sample is written.
@@ -508,11 +513,11 @@ func (p *Pipeline) QuantizePlanes(fplanes []*imgmodel.FPlane, opt Options) []*im
 // on the coordinator goroutine. Left lazy, the measurement fires under
 // gainMu inside whichever worker touches it first, stalling the whole
 // pool for its duration — a serialization the stage report surfaced.
-func warmGains(opt Options) {
+func warmGains(opt Options, rec *obs.Recorder) {
 	if opt.Lossless {
-		dwt.WarmGains(dwt.W53, opt.Levels)
+		dwt.WarmGainsObs(dwt.W53, opt.Levels, rec)
 	} else {
-		dwt.WarmGains(dwt.W97, opt.Levels)
+		dwt.WarmGainsObs(dwt.W97, opt.Levels, rec)
 	}
 }
 
@@ -528,7 +533,29 @@ func EncodeParallel(img *imgmodel.Image, opt Options, workers int) (*Result, err
 // unwrapped. A panic inside any stage worker is contained into a
 // *FaultError instead of crossing the API.
 func EncodeParallelContext(ctx context.Context, img *imgmodel.Image, opt Options, workers int) (res *Result, err error) {
-	defer containAPIFault("encode", &err)
+	rec := obs.Current(ctx)
+	// SLO envelope: registered before containAPIFault so it runs after
+	// it (defers are LIFO) and sees the error a contained panic was
+	// converted into. The tiled path delegates to EncodeTiledContext,
+	// which records its own (tiled-class) observation — skipSLO keeps
+	// the operation from being counted twice. time.Now is only read
+	// when a recorder is attached, preserving the disabled fast path.
+	var start time.Time
+	skipSLO := rec == nil
+	if rec != nil {
+		start = time.Now()
+	}
+	defer func() {
+		if skipSLO {
+			return
+		}
+		if err != nil {
+			rec.OpFailed()
+			return
+		}
+		rec.OpDone(obs.ClassOf(false, !opt.Lossless, false, opt.HT), time.Since(start))
+	}()
+	defer containAPIFault(rec, "encode", &err)
 	if err := validateImage(img); err != nil {
 		return nil, err
 	}
@@ -541,12 +568,13 @@ func EncodeParallelContext(ctx context.Context, img *imgmodel.Image, opt Options
 	// up in MetricsTable/expvar so a perf report can tell scalar, SSE2,
 	// and AVX2 runs apart.
 	if ctr, ok := obs.KernelCounter(simd.Kernel()); ok {
-		obs.Active().Add(ctr, 1)
+		rec.Add(ctr, 1)
 	}
 	if opt.TileW > 0 || opt.TileH > 0 {
 		if opt.TileW <= 0 || opt.TileH <= 0 {
 			return nil, fmt.Errorf("codec: both tile dimensions must be set")
 		}
+		skipSLO = true
 		return EncodeTiledContext(ctx, img, opt, workers)
 	}
 	opt = opt.WithDefaults(img.W, img.H)
@@ -554,11 +582,11 @@ func EncodeParallelContext(ctx context.Context, img *imgmodel.Image, opt Options
 	// Whole-encode envelope span on a coordinator lane: it defines the
 	// Amdahl report's total window (and pins lane 0, so worker lanes
 	// stay stable across stages).
-	ln := obs.Acquire()
+	ln := rec.Acquire()
 	total := ln.Begin(obs.StageEncode, 0, 0)
 	defer ln.Release()
 	defer total.End()
-	warmGains(opt)
+	warmGains(opt, rec)
 	_, jobs := PlanBlocks(img.W, img.H, len(img.Comps), opt)
 	// Rate-constrained encodes build each block's R-D ladder and convex
 	// hull inside its Tier-1 job, leaving only the λ search sequential
@@ -590,5 +618,5 @@ func EncodeParallelContext(ctx context.Context, img *imgmodel.Image, opt Options
 	if perr := p.Err(); perr != nil {
 		return nil, perr
 	}
-	return FinishRD(img, opt, jobs, blocks, rd, p.workers), nil
+	return finishRD(p.rec, img, opt, jobs, blocks, rd, p.workers), nil
 }

@@ -3,6 +3,7 @@ package codec
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"j2kcell/internal/codestream"
 	"j2kcell/internal/imgmodel"
@@ -59,7 +60,24 @@ func EncodeTiled(img *imgmodel.Image, opt Options, workers int) (*Result, error)
 // into *FaultError, and every tile's pooled planes are released on
 // both paths.
 func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, workers int) (res *Result, err error) {
-	defer containAPIFault("tile", &err)
+	rec := obs.Current(ctx)
+	// SLO envelope; registered before containAPIFault (LIFO) so a
+	// contained panic is already an error when it observes the outcome.
+	var start time.Time
+	if rec != nil {
+		start = time.Now()
+	}
+	defer func() {
+		if rec == nil {
+			return
+		}
+		if err != nil {
+			rec.OpFailed()
+			return
+		}
+		rec.OpDone(obs.ClassOf(false, !opt.Lossless, true, opt.HT), time.Since(start))
+	}()
+	defer containAPIFault(rec, "tile", &err)
 	if err := validateImage(img); err != nil {
 		return nil, err
 	}
@@ -81,11 +99,11 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 
 	// Whole-encode envelope span (coordinator lane), as in
 	// EncodeParallel; the same lane carries the sequential finish spans.
-	ln := obs.Acquire()
+	ln := rec.Acquire()
 	total := ln.Begin(obs.StageEncode, 0, 0)
 	defer ln.Release()
 	defer total.End()
-	warmGains(opt)
+	warmGains(opt, rec)
 
 	// Transform and Tier-1 code every tile through the shared work
 	// queue (tiles are fully independent), recycling each tile's
@@ -114,15 +132,15 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 		// its own lane and span so the per-stage breakdown still sees
 		// tiled Tier-1 time (the transform stages are covered by the
 		// inner pipeline's own spans inside ForwardTransform).
-		tln := obs.Acquire()
+		tln := rec.Acquire()
 		sp := tln.Begin(tier1Stage(mode), 0, int32(i))
 		for bi, j := range jobs {
 			p := planes[j.Comp]
-			blocks[bi] = t1.Encode(p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
+			blocks[bi] = t1.EncodeObs(rec, p.Data[j.Y0*p.Stride+j.X0:], j.W, j.H, p.Stride,
 				j.Band.Orient, mode, j.Gain)
 			if constrained {
 				rd[bi] = LadderOf(blocks[bi])
-				rd[bi].ComputeHull()
+				rd[bi].ComputeHullObs(rec)
 			}
 		}
 		sp.End()
@@ -185,7 +203,7 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 	keeps := [][]int{FullKeep(allBlocks)}
 	if constrained {
 		sp := ln.Begin(obs.StageRate, 0, 0)
-		keeps = allocateLayersRD(allRD, img, opt, rates, 0, workers)
+		keeps = allocateLayersRD(rec, allRD, img, opt, rates, 0, workers)
 		sp.End()
 	}
 	data, bodyTotal := build(keeps)
@@ -194,7 +212,7 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 		retry := int32(1)
 		for extra := 16; len(data) > target && extra < target; extra *= 2 {
 			sp := ln.Begin(obs.StageRate, 0, retry)
-			keeps = allocateLayersRD(allRD, img, opt, rates, len(data)-target+extra, workers)
+			keeps = allocateLayersRD(rec, allRD, img, opt, rates, len(data)-target+extra, workers)
 			sp.End()
 			retry++
 			data, bodyTotal = build(keeps)

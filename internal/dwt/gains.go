@@ -42,10 +42,21 @@ var (
 // hundreds of ms the numeric measurement takes.
 func WarmGains(f Filter, levels int) { BandGain(f, levels, LL, levels) }
 
+// WarmGainsObs is WarmGains recording a possible calibration span on an
+// explicit recorder (nil-safe), so a per-operation recorder attributes
+// the one-time measurement to the operation that triggered it.
+func WarmGainsObs(f Filter, levels int, rec *obs.Recorder) {
+	bandGainObs(f, levels, LL, levels, rec)
+}
+
 // BandGain returns the synthesis L2 norm for a subband of the given
 // orientation at the given level under `levels` total decompositions.
 // For orientation LL only level == levels is meaningful.
 func BandGain(f Filter, levels int, o Orient, level int) float64 {
+	return bandGainObs(f, levels, o, level, obs.Active())
+}
+
+func bandGainObs(f Filter, levels int, o Orient, level int, rec *obs.Recorder) float64 {
 	gainMu.Lock()
 	defer gainMu.Unlock()
 	key := gainKey{f, levels}
@@ -55,7 +66,7 @@ func BandGain(f Filter, levels int, o Orient, level int) float64 {
 		// transforms over a (32<<levels)² plane — hundreds of ms of
 		// one-time serial work, worth its own span so first-encode
 		// reports attribute it instead of showing anonymous serial time.
-		ln := obs.Acquire()
+		ln := rec.Acquire()
 		sp := ln.Begin(obs.StageCalib, int32(levels), int32(f))
 		g = computeGains(f, levels)
 		sp.End()

@@ -21,14 +21,20 @@ var (
 )
 
 // GetPlane returns a w×h integer plane from the pool (or a fresh one),
-// with unspecified contents inside and outside the live region.
-func GetPlane(w, h int) *Plane {
+// with unspecified contents inside and outside the live region. Pool
+// hit/miss counts go to the ambient recorder; pipelines that carry an
+// operation recorder use GetPlaneObs.
+func GetPlane(w, h int) *Plane { return GetPlaneObs(w, h, obs.Active()) }
+
+// GetPlaneObs is GetPlane counting against an explicit recorder
+// (nil-safe).
+func GetPlaneObs(w, h int, rec *obs.Recorder) *Plane {
 	p, _ := planePool.Get().(*Plane)
 	if p == nil {
-		obs.Count(obs.CtrPoolPlaneMiss)
+		rec.Add(obs.CtrPoolPlaneMiss, 1)
 		return NewPlane(w, h)
 	}
-	obs.Count(obs.CtrPoolPlaneHit)
+	rec.Add(obs.CtrPoolPlaneHit, 1)
 	s := padStride(w)
 	if n := s * h; cap(p.Data) < n {
 		p.Data = make([]int32, n)
@@ -49,13 +55,16 @@ func PutPlane(p *Plane) {
 }
 
 // GetFPlane is the float analogue of GetPlane.
-func GetFPlane(w, h int) *FPlane {
+func GetFPlane(w, h int) *FPlane { return GetFPlaneObs(w, h, obs.Active()) }
+
+// GetFPlaneObs is the float analogue of GetPlaneObs.
+func GetFPlaneObs(w, h int, rec *obs.Recorder) *FPlane {
 	p, _ := fplanePool.Get().(*FPlane)
 	if p == nil {
-		obs.Count(obs.CtrPoolPlaneMiss)
+		rec.Add(obs.CtrPoolPlaneMiss, 1)
 		return NewFPlane(w, h)
 	}
-	obs.Count(obs.CtrPoolPlaneHit)
+	rec.Add(obs.CtrPoolPlaneHit, 1)
 	s := padStride(w)
 	if n := s * h; cap(p.Data) < n {
 		p.Data = make([]float32, n)

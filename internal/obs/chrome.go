@@ -33,11 +33,47 @@ type chromeTrace struct {
 // process metadata so the exported file carries the run's aggregate
 // numbers too.
 func WriteChromeTrace(w io.Writer, spans []TSpan, counters map[string]int64) error {
-	tids := map[string]int{}
+	events := appendProcessEvents(nil, 1, "j2kcell encode", spans, counters)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// OpTrace is one operation's exported timeline: its trace ID and kind
+// label the process row, its spans become the row's threads.
+type OpTrace struct {
+	TraceID  string
+	Kind     string
+	Spans    []TSpan
+	Counters map[string]int64
+}
+
+// WriteChromeTraceOps serializes several concurrent operations into
+// one Chrome trace, one pid per operation, so the trace viewer shows
+// them as separate interleaved process rows labeled by trace ID. All
+// operations' span timestamps share the monotonic clock, so rows line
+// up on a common timeline.
+func WriteChromeTraceOps(w io.Writer, ops []OpTrace) error {
 	var events []chromeEvent
-	args := map[string]any{"name": "j2kcell encode"}
+	for i, op := range ops {
+		name := op.TraceID
+		if name == "" {
+			name = "op"
+		}
+		if op.Kind != "" {
+			name += " (" + op.Kind + ")"
+		}
+		events = appendProcessEvents(events, i+1, name, op.Spans, op.Counters)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// appendProcessEvents appends one process row (metadata + complete
+// events) for a span set under the given pid.
+func appendProcessEvents(events []chromeEvent, pid int, name string, spans []TSpan, counters map[string]int64) []chromeEvent {
 	events = append(events, chromeEvent{
-		Name: "process_name", Ph: "M", Pid: 1, Args: args,
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name},
 	})
 	if len(counters) > 0 {
 		meta := map[string]any{}
@@ -45,14 +81,15 @@ func WriteChromeTrace(w io.Writer, spans []TSpan, counters map[string]int64) err
 			meta[k] = v
 		}
 		events = append(events, chromeEvent{
-			Name: "counters", Ph: "M", Pid: 1, Args: meta,
+			Name: "counters", Ph: "M", Pid: pid, Args: meta,
 		})
 	}
+	tids := map[string]int{}
 	for _, track := range Tracks(spans) {
 		tid := len(tids)
 		tids[track] = tid
 		events = append(events, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
 			Args: map[string]any{"name": track},
 		})
 	}
@@ -60,12 +97,11 @@ func WriteChromeTrace(w io.Writer, spans []TSpan, counters map[string]int64) err
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start < ordered[j].Start })
 	for _, s := range ordered {
 		events = append(events, chromeEvent{
-			Name: s.Name, Cat: "stage", Ph: "X", Pid: 1, Tid: tids[s.Track],
+			Name: s.Name, Cat: "stage", Ph: "X", Pid: pid, Tid: tids[s.Track],
 			Ts: float64(s.Start) / 1e3, Dur: float64(s.End-s.Start) / 1e3,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+	return events
 }
 
 // WriteChromeTraceFile writes the Chrome trace to a file path.

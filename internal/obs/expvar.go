@@ -7,23 +7,40 @@ import (
 
 // PublishExpvar registers the observability snapshot under the expvar
 // key "j2kcell" (visible at /debug/vars when an HTTP server with the
-// expvar handler is running — j2kenc's -pprof flag starts one). The
-// function reads the *current* recorder at each scrape, so it may be
-// called before Enable and survives Enable/Disable cycles. Safe to call
-// more than once.
+// expvar handler is running — the -pprof/-metrics flags start one).
+// The snapshot reads the process-wide aggregate registry, not whichever
+// recorder happens to be Active(): once multiple per-operation
+// recorders exist, the registry is the only coherent whole-process
+// view — the ambient recorder is just one operation among many (and
+// usually nil in server-style processes). Safe to call more than once.
 func PublishExpvar() {
 	expvarOnce.Do(func() {
 		expvar.Publish("j2kcell", expvar.Func(func() any {
-			r := Active()
-			if r == nil {
-				return map[string]any{"enabled": false}
+			g := Aggregate()
+			ops := map[string]int64{}
+			for c := OpClass(0); c < NumOpClasses; c++ {
+				if n := g.Ops(c); n > 0 {
+					ops[c.String()] = n
+				}
 			}
-			return map[string]any{
-				"enabled":       true,
-				"counters":      r.Counters(),
-				"lane_claims":   r.LaneClaims(),
-				"spans_dropped": r.Dropped(),
+			snap := map[string]any{
+				"counters":      g.Counters(),
+				"operations":    ops,
+				"ops_total":     g.OpsTotal(),
+				"ops_active":    g.OpsActive(),
+				"op_errors":     g.OpErrors(),
+				"spans_dropped": g.Dropped(),
 			}
+			// The ambient recorder's live (not yet rolled-up) view, when
+			// one is installed — useful for the single-operation CLI path
+			// where the registry stays empty until the run completes.
+			if r := Active(); r != nil {
+				snap["ambient"] = map[string]any{
+					"counters":    r.Counters(),
+					"lane_claims": r.LaneClaims(),
+				}
+			}
+			return snap
 		}))
 	})
 }

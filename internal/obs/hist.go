@@ -37,6 +37,40 @@ func (h *Histogram) Observe(ns int64) {
 	h.sum.Add(ns)
 }
 
+// AddFrom merges another histogram's observations into h (bucket-wise
+// atomic adds — the roll-up primitive recorders use when closing into
+// the aggregate registry). Safe when o is concurrently observed; the
+// merge is then a consistent-enough snapshot, exact once o quiesces.
+func (h *Histogram) AddFrom(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if v := o.buckets[i].Load(); v != 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	if v := o.sum.Load(); v != 0 {
+		h.sum.Add(v)
+	}
+}
+
+// Bucket returns the count in bucket i (0 <= i < NumHistBuckets).
+func (h *Histogram) Bucket(i int) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// BucketBound returns the inclusive upper bound, in nanoseconds, of
+// bucket i (observations v with BucketBound(i-1) < v <= BucketBound(i)).
+func BucketBound(i int) int64 { return 1 << uint(i) }
+
+// NumHistBuckets is the number of histogram buckets (1ns .. ~1099s in
+// powers of two).
+const NumHistBuckets = histBuckets
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

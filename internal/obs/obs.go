@@ -146,24 +146,29 @@ func (c Counter) String() string {
 	return "counter?"
 }
 
-// active is the global sink; nil means observability is disabled and
-// every recording call is a load + branch.
+// active is the ambient process-wide sink — the recorder the
+// single-operation CLI path and legacy callers install with Enable.
+// nil means no ambient recorder; recording calls that fall back to it
+// are a load + branch. Concurrent operations should prefer
+// WithOperation (op.go), which scopes a recorder to one context and
+// wins over the ambient recorder in Current.
 var active atomic.Pointer[Recorder]
 
-// Active returns the current recorder, or nil when disabled.
+// Active returns the ambient recorder, or nil when none is installed.
 func Active() *Recorder { return active.Load() }
 
-// Enabled reports whether a recorder is installed.
+// Enabled reports whether an ambient recorder is installed.
 func Enabled() bool { return active.Load() != nil }
 
-// Enable installs a fresh recorder as the global sink and returns it.
+// Enable installs a fresh recorder as the ambient sink and returns it.
+// Its totals roll into the aggregate registry when Close is called.
 func Enable() *Recorder {
 	r := NewRecorder()
 	active.Store(r)
 	return r
 }
 
-// Disable removes the global sink and returns the recorder that was
+// Disable removes the ambient sink and returns the recorder that was
 // installed (nil if none). In-flight spans ending after Disable still
 // land in that recorder's lanes — lanes hold their recorder.
 func Disable() *Recorder {
@@ -189,11 +194,18 @@ func Acquire() *Lane { return active.Load().Acquire() }
 const maxSpansPerLane = 1 << 15
 
 // Recorder owns the lanes, counters, and histograms of one
-// observability session. All methods are nil-receiver safe so callers
-// can hold a possibly-nil *Recorder without branching.
+// observability scope — one operation (WithOperation) or one ambient
+// session (Enable). All methods are nil-receiver safe so callers can
+// hold a possibly-nil *Recorder without branching.
 type Recorder struct {
 	epoch time.Time
 	ctx   context.Context // carries the runtime/trace task for regions
+
+	// Operation identity (empty for ambient recorders) and the
+	// aggregate registry Close rolls this recorder's totals into.
+	trace string
+	kind  string
+	reg   *Registry
 
 	mu    sync.Mutex
 	lanes []*Lane // every lane ever created, in id order
@@ -201,16 +213,21 @@ type Recorder struct {
 
 	counters [numCounters]atomic.Int64
 	hist     [numStages]Histogram
+	slo      [NumOpClasses]Histogram // whole-operation latency by class
+	ops      [NumOpClasses]atomic.Int64
+	opErrors atomic.Int64
 	dropped  atomic.Int64
+	rolled   atomic.Bool // totals already merged into reg
 	endTask  func()
 }
 
 // NewRecorder returns a recorder that is not yet installed as the
-// global sink. When the Go execution tracer is running, the recorder
-// opens a runtime/trace task so stage regions group under one encode in
+// ambient sink. Its totals roll into the aggregate registry on Close.
+// When the Go execution tracer is running, the recorder opens a
+// runtime/trace task so stage regions group under one encode in
 // `go tool trace`.
 func NewRecorder() *Recorder {
-	r := &Recorder{epoch: time.Now(), ctx: context.Background()}
+	r := &Recorder{epoch: time.Now(), ctx: context.Background(), reg: Aggregate()}
 	if trace.IsEnabled() {
 		ctx, task := trace.NewTask(r.ctx, "j2k-encode")
 		r.ctx, r.endTask = ctx, task.End
@@ -218,12 +235,75 @@ func NewRecorder() *Recorder {
 	return r
 }
 
-// Close ends the recorder's runtime/trace task, if any.
+// TraceID returns the operation trace ID ("" for ambient recorders).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.trace
+}
+
+// Kind returns the operation kind label ("" for ambient recorders).
+func (r *Recorder) Kind() string {
+	if r == nil {
+		return ""
+	}
+	return r.kind
+}
+
+// Close ends the recorder's runtime/trace task, if any, and rolls the
+// recorder's counters, stage histograms, and SLO observations into the
+// aggregate registry (exactly once — Close is idempotent). The
+// recorder's own data remains readable: lanes, counters, and
+// histograms are merged, not moved.
 func (r *Recorder) Close() {
-	if r != nil && r.endTask != nil {
+	if r == nil {
+		return
+	}
+	if r.endTask != nil {
 		r.endTask()
 		r.endTask = nil
 	}
+	if r.reg != nil && r.rolled.CompareAndSwap(false, true) {
+		r.reg.merge(r)
+	}
+}
+
+// OpDone records one completed operation of the given class and its
+// whole-operation latency — the SLO observation. Safe on nil.
+func (r *Recorder) OpDone(c OpClass, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.ops[c].Add(1)
+	r.slo[c].Observe(int64(d))
+}
+
+// OpFailed records one operation that finished with an error (its
+// latency is not observed — a failed operation has no SLO latency).
+// Safe on nil.
+func (r *Recorder) OpFailed() {
+	if r != nil {
+		r.opErrors.Add(1)
+	}
+}
+
+// SLOHist returns the recorder's whole-operation latency histogram for
+// one class (nil when disabled).
+func (r *Recorder) SLOHist(c OpClass) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &r.slo[c]
+}
+
+// OpCount returns the recorder's completed-operation count for one
+// class.
+func (r *Recorder) OpCount(c OpClass) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.ops[c].Load()
 }
 
 // Add adds v to counter c. Safe on a nil recorder.

@@ -130,6 +130,61 @@ func (r *Report) Table() string {
 	return b.String()
 }
 
+// sloTable renders the per-class operation latency quantile table
+// shared by Registry.SLOTable and Recorder.SLOTable. get returns the
+// class's histogram and completed-op count.
+func sloTable(get func(OpClass) (*Histogram, int64)) string {
+	var b strings.Builder
+	rows := 0
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		h, n := get(c)
+		if n == 0 && h.Count() == 0 {
+			continue
+		}
+		if rows == 0 {
+			fmt.Fprintf(&b, "%-28s %6s %10s %10s %10s %10s\n",
+				"class", "ops", "p50", "p95", "p99", "mean")
+		}
+		rows++
+		cnt := h.Count()
+		mean := time.Duration(0)
+		if cnt > 0 {
+			mean = time.Duration(h.Sum() / cnt)
+		}
+		fmt.Fprintf(&b, "%-28s %6d %10v %10v %10v %10v\n",
+			c, n,
+			time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+			mean.Round(time.Microsecond))
+	}
+	if rows == 0 {
+		return "(no operations recorded)\n"
+	}
+	b.WriteString("quantiles are power-of-two bucket upper bounds\n")
+	return b.String()
+}
+
+// SLOTable renders the registry's per-class operation latency
+// quantiles — the process-lifetime SLO view.
+func (g *Registry) SLOTable() string {
+	return sloTable(func(c OpClass) (*Histogram, int64) {
+		return g.SLO(c), g.Ops(c)
+	})
+}
+
+// SLOTable renders this recorder's per-class operation latency
+// quantiles (a single operation contributes one class; the ambient
+// CLI recorder may accumulate several across a run).
+func (r *Recorder) SLOTable() string {
+	if r == nil {
+		return "(observability disabled)\n"
+	}
+	return sloTable(func(c OpClass) (*Histogram, int64) {
+		return r.SLOHist(c), r.OpCount(c)
+	})
+}
+
 // MetricsTable renders the recorder's counters, per-lane claim counts,
 // and per-stage latency summaries as aligned key/value text — the
 // `-metrics` output and the human-readable face of the expvar snapshot.

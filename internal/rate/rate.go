@@ -39,10 +39,18 @@ type HullPoint struct {
 
 // ComputeHull computes and caches the block's convex hull. The result
 // is always non-nil, so allocation can tell "computed, empty" from
-// "not yet computed".
+// "not yet computed". Counts against the ambient recorder; the
+// parallel pipelines use ComputeHullObs with their operation recorder.
 func (b *BlockRD) ComputeHull() {
+	b.ComputeHullObs(obs.Active())
+}
+
+// ComputeHullObs is ComputeHull counting against an explicit recorder
+// (nil-safe), so per-operation recorders attribute hull work to the
+// operation that ran it.
+func (b *BlockRD) ComputeHullObs(rec *obs.Recorder) {
 	b.Hull = hull(*b)
-	obs.Count(obs.CtrHulls)
+	rec.Add(obs.CtrHulls, 1)
 }
 
 // hull computes the strictly-decreasing-slope convex hull of a block's
@@ -182,13 +190,21 @@ func Allocate(blocks []BlockRD, budget int) []int {
 // written to disjoint indices and byte totals are integer sums reduced
 // in chunk order.
 func AllocateParallel(blocks []BlockRD, budget, workers int) []int {
+	return AllocateParallelObs(obs.Active(), blocks, budget, workers)
+}
+
+// AllocateParallelObs is AllocateParallel counting its hull builds and
+// λ probes against an explicit recorder (nil-safe), so a per-operation
+// recorder sees its own rate-control work rather than the process
+// ambient one.
+func AllocateParallelObs(rec *obs.Recorder, blocks []BlockRD, budget, workers int) []int {
 	if workers < 1 {
 		workers = 1
 	}
 	parallelBlocks(len(blocks), workers, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if blocks[i].Hull == nil {
-				blocks[i].ComputeHull()
+				blocks[i].ComputeHullObs(rec)
 			}
 		}
 	})
@@ -217,7 +233,7 @@ func AllocateParallel(blocks []BlockRD, budget, workers int) []int {
 	// pick selects per-block passes for a slope threshold λ: keep every
 	// hull point with slope >= λ.
 	pick := func(lambda float64) ([]int, int) {
-		obs.Count(obs.CtrRateProbes)
+		rec.Add(obs.CtrRateProbes, 1)
 		sel := make([]int, len(blocks))
 		partial := make([]int, workers)
 		parallelBlocks(len(blocks), workers, func(w, lo, hi int) {

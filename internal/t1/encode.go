@@ -41,16 +41,25 @@ type encoder struct {
 // from coef with the given row stride. orient selects the context
 // tables, mode the termination style, and gain the subband synthesis
 // L2 norm used to weight distortion. The input is not modified.
+// Workload counters go to the ambient recorder; pipelines carrying an
+// operation recorder use EncodeObs.
 func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain float64) *Block {
+	return EncodeObs(obs.Active(), coef, w, h, stride, orient, mode, gain)
+}
+
+// EncodeObs is Encode recording against an explicit recorder
+// (nil-safe): block/scan/decision counters and coder-pool traffic are
+// attributed to rec instead of the process ambient recorder.
+func EncodeObs(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain float64) *Block {
 	if mode.IsHT() {
-		return encodeHT(coef, w, h, stride, orient, mode, gain)
+		return encodeHT(rec, coef, w, h, stride, orient, mode, gain)
 	}
 	// invariant: block geometry comes from PlanBlocks, which never emits
 	// empty blocks; encode-side only (decode sizes are clamped to the band).
 	if w <= 0 || h <= 0 {
 		panic("t1: empty code block")
 	}
-	c := newCoder(w, h, orient)
+	c := newCoderObs(w, h, orient, rec)
 	defer c.release()
 
 	e := getEncoder()
@@ -111,22 +120,22 @@ func Encode(coef []int32, w, h, stride int, orient dwt.Orient, mode Mode, gain f
 		blk.Passes[len(blk.Passes)-1].SegLen = len(e.out)
 	}
 	blk.Data = e.out
-	reportBlock(e, blk)
+	reportBlock(rec, e, blk)
 	return blk
 }
 
 // reportBlock publishes one coded block's workload counters — blocks,
 // coefficients scanned, MQ decisions, renormalization chunks — to the
-// observability layer. The renorm count is drained from the pooled MQ
+// given recorder. The renorm count is drained from the pooled MQ
 // encoder unconditionally so it never leaks across blocks; everything
 // else is skipped when observability is disabled.
-func reportBlock(e *encoder, blk *Block) {
+func reportBlock(rec *obs.Recorder, e *encoder, blk *Block) {
 	renorms := e.mq.TakeRenorms()
-	if r := obs.Active(); r != nil {
-		r.Add(obs.CtrT1Blocks, 1)
-		r.Add(obs.CtrT1Scanned, int64(blk.TotalScanned()))
-		r.Add(obs.CtrT1Coded, int64(blk.TotalCoded()))
-		r.Add(obs.CtrMQRenorms, renorms)
+	if rec != nil {
+		rec.Add(obs.CtrT1Blocks, 1)
+		rec.Add(obs.CtrT1Scanned, int64(blk.TotalScanned()))
+		rec.Add(obs.CtrT1Coded, int64(blk.TotalCoded()))
+		rec.Add(obs.CtrMQRenorms, renorms)
 	}
 }
 

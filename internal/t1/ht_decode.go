@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"j2kcell/internal/dwt"
+	"j2kcell/internal/obs"
 )
 
 // decodeHT reconstructs a block coded by encodeHT. Segment boundaries
@@ -16,7 +17,7 @@ import (
 // outside the block, implausible magnitude exponents, MEL/VLC
 // disagreement — returns an error; bit-level damage degrades into
 // wrong coefficients, never a panic.
-func decodeHT(coef []int32, w, h, stride int, orient dwt.Orient, numBPS, numPasses int, data []byte, segLens []int) error {
+func decodeHT(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Orient, numBPS, numPasses int, data []byte, segLens []int) error {
 	for y := 0; y < h; y++ {
 		clear(coef[y*stride : y*stride+w])
 	}
@@ -64,7 +65,7 @@ func decodeHT(coef []int32, w, h, stride int, orient dwt.Orient, numBPS, numPass
 	mel.init(cup[body-lenMEL-lenVLC : body-lenVLC])
 	vlc.init(cup[body-lenVLC : body])
 
-	c := newCoder(w, h, orient)
+	c := newCoderObs(w, h, orient, rec)
 	defer c.release()
 	lpp := getInt8(w * h)
 	defer putInt8(lpp)

@@ -159,14 +159,21 @@ type coder struct {
 
 // newCoder draws scratch from the coder pool (pool.go); callers release
 // it when the block is done. Flags and magnitudes are zeroed, contexts
-// reset to their standard initial states.
+// reset to their standard initial states. Pool counters go to the
+// ambient recorder; the Obs entry points use newCoderObs.
 func newCoder(w, h int, orient dwt.Orient) *coder {
+	return newCoderObs(w, h, orient, obs.Active())
+}
+
+// newCoderObs is newCoder counting pool hits/misses against an explicit
+// recorder (nil-safe).
+func newCoderObs(w, h int, orient dwt.Orient, rec *obs.Recorder) *coder {
 	c, _ := coderPool.Get().(*coder)
 	if c == nil {
-		obs.Count(obs.CtrPoolCoderMiss)
+		rec.Add(obs.CtrPoolCoderMiss, 1)
 		c = &coder{}
 	} else {
-		obs.Count(obs.CtrPoolCoderHit)
+		rec.Add(obs.CtrPoolCoderHit, 1)
 	}
 	c.w, c.h, c.orient = w, h, orient
 	c.zcTab = zcTabFor(orient)

@@ -6,9 +6,11 @@ package j2kcell
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"j2kcell/internal/obs"
@@ -111,6 +113,163 @@ func TestEncodeObsDisabledHotPathAllocs(t *testing.T) {
 	}
 }
 
+// TestEncodeObsConcurrentAttribution is the contract of the
+// context-scoped recorders: concurrent encodes and decodes, each
+// under its own obs.WithOperation, must get distinct trace IDs,
+// disjoint span sets (no decode stage ever lands in an encode op's
+// recorder or vice versa), correct per-op class counts, and the
+// aggregate registry must show exactly the rolled-up totals. Runs
+// under -race in CI (matched by the TestEncodeObs pattern).
+func TestEncodeObsConcurrentAttribution(t *testing.T) {
+	prev := obs.SwapAggregate(nil)
+	defer obs.SwapAggregate(prev)
+
+	img := TestImage(128, 96, 5)
+	stream, _, err := Encode(img, Options{Lossless: true}) // unobserved input
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const per = 3
+	encOps := make([]*obs.Op, per)
+	decOps := make([]*obs.Op, per)
+	errc := make(chan error, 2*per)
+	var wg sync.WaitGroup
+	for i := 0; i < per; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			ctx, op := obs.WithOperation(context.Background(), "encode")
+			encOps[i] = op
+			_, _, err := EncodeParallelContext(ctx, img, Options{Lossless: true}, 2)
+			op.Finish()
+			if err != nil {
+				errc <- err
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			ctx, op := obs.WithOperation(context.Background(), "decode")
+			decOps[i] = op
+			_, err := DecodeWithContext(ctx, stream, DecodeOptions{Workers: 2})
+			op.Finish()
+			if err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	ids := map[string]bool{}
+	for _, op := range append(append([]*obs.Op{}, encOps...), decOps...) {
+		if op.TraceID() == "" || ids[op.TraceID()] {
+			t.Fatalf("trace ID %q empty or duplicated", op.TraceID())
+		}
+		ids[op.TraceID()] = true
+	}
+
+	decStages := map[obs.Stage]bool{
+		obs.StageZero: true, obs.StageDeq: true, obs.StageIDWTVert: true,
+		obs.StageIDWTHorz: true, obs.StageIMCT: true, obs.StageDecode: true,
+	}
+	encStages := map[obs.Stage]bool{
+		obs.StageMCT: true, obs.StageDWTVert: true, obs.StageDWTHorz: true,
+		obs.StageRate: true, obs.StageFrame: true, obs.StageEncode: true,
+	}
+	encClass := obs.ClassOf(false, false, false, false)
+	decClass := obs.ClassOf(true, false, false, false)
+
+	for i, op := range encOps {
+		rec := op.Recorder()
+		spans := rec.TSpans()
+		if len(spans) == 0 {
+			t.Fatalf("encode op %d recorded no spans", i)
+		}
+		for _, sp := range spans {
+			if decStages[sp.Stage] {
+				t.Fatalf("encode op %d leaked decode-stage span %q", i, sp.Name)
+			}
+		}
+		if rec.Counter(obs.CtrT1Blocks) == 0 {
+			t.Fatalf("encode op %d counted no Tier-1 blocks", i)
+		}
+		if rec.Counter(obs.CtrDecodeParts) != 0 || rec.Counter(obs.CtrDecodeSingles) != 0 {
+			t.Fatalf("encode op %d leaked decode partition counters", i)
+		}
+		if rec.OpCount(encClass) != 1 || rec.OpCount(decClass) != 0 {
+			t.Fatalf("encode op %d class counts: enc=%d dec=%d",
+				i, rec.OpCount(encClass), rec.OpCount(decClass))
+		}
+	}
+	for i, op := range decOps {
+		rec := op.Recorder()
+		spans := rec.TSpans()
+		if len(spans) == 0 {
+			t.Fatalf("decode op %d recorded no spans", i)
+		}
+		for _, sp := range spans {
+			if encStages[sp.Stage] {
+				t.Fatalf("decode op %d leaked encode-stage span %q", i, sp.Name)
+			}
+		}
+		if rec.Counter(obs.CtrDecodeParts)+rec.Counter(obs.CtrDecodeSingles) == 0 {
+			t.Fatalf("decode op %d formed no Tier-1 partitions", i)
+		}
+		if rec.Counter(obs.CtrT1Blocks) != 0 {
+			t.Fatalf("decode op %d leaked encode-side block counter", i)
+		}
+		if rec.OpCount(decClass) != 1 || rec.OpCount(encClass) != 0 {
+			t.Fatalf("decode op %d class counts: dec=%d enc=%d",
+				i, rec.OpCount(decClass), rec.OpCount(encClass))
+		}
+	}
+
+	reg := obs.Aggregate()
+	if reg.Ops(encClass) != per || reg.Ops(decClass) != per || reg.OpsTotal() != 2*per {
+		t.Fatalf("aggregate ops: enc=%d dec=%d total=%d, want %d/%d/%d",
+			reg.Ops(encClass), reg.Ops(decClass), reg.OpsTotal(), per, per, 2*per)
+	}
+	if reg.OpsActive() != 0 {
+		t.Fatalf("operations still active after all Finish: %d", reg.OpsActive())
+	}
+	if reg.OpErrors() != 0 {
+		t.Fatalf("aggregate op errors: %d", reg.OpErrors())
+	}
+}
+
+// TestEncodeObsDisabledContextPathAllocs pins the context-threaded
+// disabled path after the per-operation refactor: resolving the
+// recorder from a context with no operation attached, plus every
+// nil-recorder hook the codec calls (lane spans, counters, SLO
+// recording), must stay allocation-free.
+func TestEncodeObsDisabledContextPathAllocs(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("ambient recorder unexpectedly installed")
+	}
+	ctx := context.Background()
+	if obs.Current(ctx) != nil {
+		t.Fatal("Current on a plain context should be nil")
+	}
+	got := testing.AllocsPerRun(1000, func() {
+		rec := obs.Current(ctx)
+		ln := rec.Acquire()
+		ln.Claim()
+		sp := ln.Begin(obs.StageT1, 0, 0)
+		sp.End()
+		ln.Release()
+		rec.Add(obs.CtrT1Blocks, 1)
+		rec.OpDone(obs.ClassOf(false, false, false, false), 0)
+		rec.OpFailed()
+	})
+	if got != 0 {
+		t.Fatalf("obs-disabled context path allocates %.1f per op, want 0", got)
+	}
+}
+
 // BenchmarkEncodeObsOverhead measures the whole-pipeline cost of the
 // instrumentation: `off` is the shipping default (atomic load + branch
 // per hook), `on` records every span and counter. The acceptance bar
@@ -135,5 +294,18 @@ func BenchmarkEncodeObsOverhead(b *testing.B) {
 			rec.Close()
 		}()
 		run(b)
+	})
+	// per-op: a fresh context-scoped recorder per encode — the
+	// server-style cost (WithOperation + roll-up into the aggregate on
+	// Finish) rather than one long-lived ambient recorder.
+	b.Run("per-op", func(b *testing.B) {
+		b.SetBytes(int64(img.W * img.H * len(img.Comps)))
+		for i := 0; i < b.N; i++ {
+			ctx, op := obs.WithOperation(context.Background(), "bench")
+			if _, _, err := EncodeParallelContext(ctx, img, opt, workers); err != nil {
+				b.Fatal(err)
+			}
+			op.Finish()
+		}
 	})
 }
