@@ -31,13 +31,16 @@ bench:
 # pipeline's worker counts over {lossless, lossy} × {untiled, tiled};
 # the Benchmark_HT* sweep prices the Part 15 high-throughput block
 # coder on the same blocks as Benchmark_T1EncodeBlock, so the MQ→HT
-# speedup ratio reads directly off the merged artifact.
-BENCH_JSON ?= BENCH_pr8.json
-BENCH_BASELINE ?= bench/baseline_pr7.txt
+# speedup ratio reads directly off the merged artifact;
+# BenchmarkMixedConcurrency sweeps concurrent mixed load at c=1/4/8
+# over shared-scheduler vs per-call pools and reports the goroutine
+# high-water mark per row.
+BENCH_JSON ?= BENCH_pr9.json
+BENCH_BASELINE ?= bench/baseline_pr8.txt
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_Kernel' -benchmem ./internal/simd/ > bench/current.txt
 	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_HT|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkTable1' -benchmem . >> bench/current.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkEncode|BenchmarkDecode|BenchmarkTable1|BenchmarkMixed' -benchmem . >> bench/current.txt
 	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) baseline=$(BENCH_BASELINE) current=bench/current.txt
 
 # fuzz runs each decoder fuzz target for FUZZTIME (the CI robustness

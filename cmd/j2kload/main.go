@@ -54,7 +54,8 @@ func main() {
 	n := flag.Int("n", 48, "total operations across all scenarios")
 	conc := flag.Int("c", minInt(runtime.GOMAXPROCS(0), 4), "concurrent operations")
 	size := flag.Int("size", 384, "base image edge in pixels")
-	opworkers := flag.Int("opworkers", 1, "pipeline workers inside each operation")
+	opworkers := flag.Int("opworkers", runtime.GOMAXPROCS(0), "pipeline workers inside each operation")
+	shared := flag.Bool("shared", true, "run operations on the shared process-wide scheduler (false: per-call worker pools)")
 	names := flag.String("scenarios", "thumbnail,archival,window,ht", "comma-separated scenario mix")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :0)")
 	hold := flag.Duration("hold", 0, "keep serving -metrics this long after the run")
@@ -97,6 +98,40 @@ func main() {
 		fail(s.setup(*size, *opworkers))
 	}
 
+	// The A/B switch for DESIGN.md §12: by default every operation's
+	// stages multiplex onto the shared process-wide scheduler; -shared=false
+	// restores per-call pools, where each operation spawns its own
+	// `opworkers` goroutines (c×W total — the oversubscription the
+	// goroutine high-water mark below makes visible).
+	baseCtx := context.Background()
+	if !*shared {
+		baseCtx = j2kcell.WithPerCallPool(baseCtx)
+	}
+
+	// Goroutine high-water mark, sampled while the run is in flight:
+	// the shared scheduler should hold this at O(GOMAXPROCS + c)
+	// regardless of opworkers, where per-call pools grow with c×W.
+	gBase := runtime.NumGoroutine()
+	gHWM := int64(gBase)
+	hwmStop := make(chan struct{})
+	var hwmDone sync.WaitGroup
+	hwmDone.Add(1)
+	go func() {
+		defer hwmDone.Done()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hwmStop:
+				return
+			case <-tick.C:
+				if g := int64(runtime.NumGoroutine()); g > atomic.LoadInt64(&gHWM) {
+					atomic.StoreInt64(&gHWM, g)
+				}
+			}
+		}
+	}()
+
 	// Drive: operation i runs scenario i%len(mix) on one of -c worker
 	// goroutines. Every operation gets its own context-scoped recorder
 	// and trace ID; failures are counted per scenario, never aborting
@@ -122,7 +157,7 @@ func main() {
 				// actually see both variants regardless of the mix width.
 				si := i % len(mix)
 				s := mix[si]
-				ctx, cancel := context.WithTimeout(context.Background(), *opTimeout)
+				ctx, cancel := context.WithTimeout(baseCtx, *opTimeout)
 				opCtx, op := obs.WithOperation(ctx, "load:"+s.name)
 				err := s.run(opCtx, i/len(mix))
 				op.Finish()
@@ -150,14 +185,26 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(hwmStop)
+	hwmDone.Wait()
 
 	errTotal := int64(0)
-	fmt.Printf("\n%d operations in %v (%.1f ops/s, concurrency %d)\n",
-		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), *conc)
+	mode := "shared scheduler"
+	if !*shared {
+		mode = "per-call pools"
+	}
+	fmt.Printf("\n%d operations in %v (%.1f ops/s, concurrency %d, opworkers %d, %s)\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), *conc, *opworkers, mode)
 	for si, s := range mix {
 		e := tallies[si].errs.Load()
 		errTotal += e
 		fmt.Printf("  %-10s %4d ops  %d errors\n", s.name, tallies[si].ops.Load(), e)
+	}
+	fmt.Printf("goroutines: high-water %d (baseline %d)\n", atomic.LoadInt64(&gHWM), gBase)
+	if *shared {
+		st := j2kcell.SchedulerStats()
+		fmt.Printf("scheduler: %d-wide pool, %d lanes opened, %d pool claims, %d lane switches, %d admit waits, %d rejects\n",
+			st.Workers, st.LanesOpened, st.PoolClaims, st.LaneSwitches, st.AdmitWaits, st.AdmitRejects)
 	}
 	fmt.Println()
 	fmt.Print(obs.Aggregate().SLOTable())
@@ -172,7 +219,7 @@ func main() {
 	}
 
 	if *selfcheck {
-		fail(runSelfcheck(boundAddr))
+		fail(runSelfcheck(boundAddr, *shared && *opworkers > 1))
 	}
 	if *hold > 0 && boundAddr != "" {
 		fmt.Printf("holding %v for scrapes of http://%s/metrics\n", *hold, boundAddr)
@@ -187,7 +234,9 @@ func main() {
 // text exposition with the library's minimal scraper, and verifies
 // the run left a coherent trail: some operations completed
 // (j2k_operations_total > 0) and the SLO histograms observed them.
-func runSelfcheck(addr string) error {
+// When the run used the shared scheduler (requireSched), the scheduler
+// gauges must be exported and its lanes-opened counter nonzero.
+func runSelfcheck(addr string, requireSched bool) error {
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		return fmt.Errorf("selfcheck: %w", err)
@@ -203,13 +252,19 @@ func runSelfcheck(addr string) error {
 	if err != nil {
 		return fmt.Errorf("selfcheck: malformed exposition: %w", err)
 	}
-	var opsTotal, sloCount float64
+	var opsTotal, sloCount, lanesOpened float64
+	schedGauges := 0
 	for _, s := range samples {
 		switch s.Name {
 		case "j2k_operations_total":
 			opsTotal += s.Value
 		case "j2k_op_duration_seconds_count":
 			sloCount += s.Value
+		case "j2k_scheduler_lanes_opened_total":
+			lanesOpened += s.Value
+		case "j2k_scheduler_workers", "j2k_scheduler_lanes_open",
+			"j2k_scheduler_active_ops", "j2k_scheduler_queue_depth":
+			schedGauges++
 		}
 	}
 	if opsTotal <= 0 {
@@ -217,6 +272,14 @@ func runSelfcheck(addr string) error {
 	}
 	if sloCount <= 0 {
 		return fmt.Errorf("selfcheck: j2k_op_duration_seconds observed no operations")
+	}
+	if requireSched {
+		if schedGauges < 4 {
+			return fmt.Errorf("selfcheck: scheduler gauges missing from exposition (%d/4 present)", schedGauges)
+		}
+		if lanesOpened <= 0 {
+			return fmt.Errorf("selfcheck: j2k_scheduler_lanes_opened_total is %v after a shared-scheduler run, want > 0", lanesOpened)
+		}
 	}
 	fmt.Printf("selfcheck ok: %d samples, %v operations recorded\n", len(samples), opsTotal)
 	return nil

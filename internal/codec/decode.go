@@ -149,6 +149,14 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 	if cerr := ctx.Err(); cerr != nil {
 		return nil, cerr
 	}
+	// Admission control (DESIGN.md §12): multi-worker decodes hold one
+	// shared-scheduler slot from header parse to the last inverse stage;
+	// a full admission queue fails fast with ErrOverloaded.
+	release, aerr := admitOp(ctx, dopt.Workers, rec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
 	// Whole-decode envelope span (coordinator lane), the decode-side
 	// mirror of EncodeParallel's StageEncode envelope: per-stage busy
 	// time nests under it in the Amdahl report and trace.
@@ -195,6 +203,7 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 // and the cancellation checks of the packet-parse loop.
 func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
 	p := NewPipelineContext(ctx, dopt.Workers)
+	defer p.Close()
 	bands := dwt.Layout(tw, th, h.Levels)
 	mode := t1.ModeSingle
 	style := t2.SegSingle
@@ -373,13 +382,13 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	// errors (partitions after the stop never ran, so their slots are
 	// nil, not failures); partitions are contiguous in task order, so
 	// the first non-nil slot is still the earliest failing block.
-	parts := partitionDecodeTasks(p.rec, tasks, p.workers, decodeCostFor(mode))
+	parts, partCost := partitionDecodeTasks(p.rec, tasks, p.workers, decodeCostFor(mode))
 	st := obs.StageT1
 	if mode.IsHT() {
 		st = obs.StageT1HT
 	}
 	errs := make([]error, len(parts))
-	p.run(st, 0, len(parts), func(i int) {
+	p.runCost(st, 0, len(parts), partCost, func(i int) {
 		for t := parts[i].lo; t < parts[i].hi; t++ {
 			if err := decodeOne(tasks[t]); err != nil {
 				errs[i] = err

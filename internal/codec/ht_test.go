@@ -199,17 +199,17 @@ func TestHTPartitionCostModel(t *testing.T) {
 	//   HT: 20 units/block, total 1280 → raw target 80, clamped to the
 	//       shared 192 minimum → 9 blocks per claim → 8 partitions.
 	tiny := mk(16, 64)
-	if got := len(partitionDecodeTasks(nil, tiny, 4, mqDecodeCost)); got != 16 {
-		t.Fatalf("MQ tiny-block partitions = %d, want 16", got)
+	if parts, cost := partitionDecodeTasks(nil, tiny, 4, mqDecodeCost); len(parts) != 16 || cost != 4096 {
+		t.Fatalf("MQ tiny-block partitions = %d (cost %d), want 16 (cost 4096)", len(parts), cost)
 	}
-	if got := len(partitionDecodeTasks(nil, tiny, 4, htDecodeCost)); got != 8 {
-		t.Fatalf("HT tiny-block partitions = %d, want 8", got)
+	if parts, cost := partitionDecodeTasks(nil, tiny, 4, htDecodeCost); len(parts) != 8 || cost != 1280 {
+		t.Fatalf("HT tiny-block partitions = %d (cost %d), want 8 (cost 1280)", len(parts), cost)
 	}
 	// A huge block must stay a singleton under both models.
 	big := mk(1<<20, 1)
 	for _, m := range []t1CostModel{mqDecodeCost, htDecodeCost} {
-		if got := len(partitionDecodeTasks(nil, big, 4, m)); got != 1 {
-			t.Fatalf("single huge block split into %d parts", got)
+		if parts, _ := partitionDecodeTasks(nil, big, 4, m); len(parts) != 1 {
+			t.Fatalf("single huge block split into %d parts", len(parts))
 		}
 	}
 	// decodeCostFor routes by mode.

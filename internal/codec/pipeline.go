@@ -51,6 +51,13 @@ type Pipeline struct {
 	done    <-chan struct{} // ctx.Done(), cached (nil for Background)
 	rec     *obs.Recorder   // resolved once: ctx op recorder, else ambient, else nil
 
+	// Shared-scheduler binding (DESIGN.md §12): when sched is non-nil,
+	// multi-worker stages are submitted to the process-wide pool on this
+	// operation's lane instead of spawning private goroutines. lane is
+	// opened lazily by the first such stage and closed by Close.
+	sched *Scheduler
+	lane  *schedLane
+
 	aborted atomic.Bool // fast stop flag checked between job claims
 	mu      sync.Mutex
 	err     error // first stage fault or injected error
@@ -77,7 +84,22 @@ func NewPipelineContext(ctx context.Context, workers int) *Pipeline {
 	// Resolve the recorder once per operation: the context's per-op
 	// recorder (obs.WithOperation) wins, else the ambient one; every
 	// stage hook below then pays a plain nil check, not a context walk.
-	return &Pipeline{workers: workers, ctx: ctx, done: ctx.Done(), rec: obs.Current(ctx)}
+	return &Pipeline{
+		workers: workers, ctx: ctx, done: ctx.Done(), rec: obs.Current(ctx),
+		sched: schedulerFor(ctx, workers),
+	}
+}
+
+// Close releases the pipeline's scheduler lane, if one was opened.
+// Every function that creates a multi-worker pipeline defers it; a
+// pipeline whose stages all ran inline closes as a no-op. Pool workers
+// exit once the last lane in the process closes, so idle processes
+// hold no scheduler goroutines.
+func (p *Pipeline) Close() {
+	if p.lane != nil {
+		p.sched.closeLane(p.lane)
+		p.lane = nil
+	}
 }
 
 // Workers reports the pool width.
@@ -172,6 +194,17 @@ const stripeRows = 64
 // so stages can short-circuit; a stopped pipeline drains subsequent
 // run calls immediately.
 func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) error {
+	return p.runCost(st, arg, n, int64(n), fn)
+}
+
+// runCost is run with an explicit modeled stage cost (arbitrary units,
+// at least n): the shared scheduler's weighted policy uses it to prefer
+// lanes with the least remaining work, so stages with strongly uneven
+// job sizes (the partitioned Tier-1 decode) should pass their modeled
+// total instead of the default job count. Cost never affects which jobs
+// run or their order within a claim — only cross-lane preference — so
+// it cannot change output.
+func (p *Pipeline) runCost(st obs.Stage, arg int32, n int, cost int64, fn func(i int)) error {
 	if n <= 0 || p.stopped() {
 		return p.Err()
 	}
@@ -192,6 +225,17 @@ func (p *Pipeline) run(st obs.Stage, arg int32, n int, fn func(i int)) error {
 		}
 		ln.Release()
 		return p.Err()
+	}
+	// Shared-pool path (DESIGN.md §12): publish the stage on this
+	// operation's lane so pool workers can help drain it; the calling
+	// goroutine drains too, so the stage completes even when the pool
+	// is saturated elsewhere. Per-call goroutines below remain for
+	// unscheduled pipelines (WithPerCallPool, J2K_PERCALL=1).
+	if p.sched != nil {
+		if p.lane == nil {
+			p.lane = p.sched.openLane()
+		}
+		return p.runShared(st, arg, n, cost, fn)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -578,7 +622,16 @@ func EncodeParallelContext(ctx context.Context, img *imgmodel.Image, opt Options
 		return EncodeTiledContext(ctx, img, opt, workers)
 	}
 	opt = opt.WithDefaults(img.W, img.H)
+	// Admission control (DESIGN.md §12): under the shared scheduler the
+	// operation holds a slot for its whole life; a full admission queue
+	// fails fast with ErrOverloaded before any pipeline work starts.
+	release, aerr := admitOp(ctx, workers, rec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
 	p := NewPipelineContext(ctx, workers)
+	defer p.Close()
 	// Whole-encode envelope span on a coordinator lane: it defines the
 	// Amdahl report's total window (and pins lane 0, so worker lanes
 	// stay stable across stages).

@@ -97,6 +97,14 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 	grid := TileGrid(img.W, img.H, opt.TileW, opt.TileH)
 	tiles := make([]*tileCoded, len(grid))
 
+	// Admission control (DESIGN.md §12): one slot per operation,
+	// held across the tile queue and the sequential finish.
+	release, aerr := admitOp(ctx, workers, rec)
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer release()
+
 	// Whole-encode envelope span (coordinator lane), as in
 	// EncodeParallel; the same lane carries the sequential finish spans.
 	ln := rec.Acquire()
@@ -111,6 +119,7 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 	// encodes also build each block's R-D ladder and convex hull here,
 	// inside the parallel stage.
 	p := NewPipelineContext(ctx, workers)
+	defer p.Close()
 	p.run(obs.StageTile, 0, len(grid), func(i int) {
 		r := grid[i]
 		sub := img.SubImage(r.X0, r.Y0, r.W, r.H)
@@ -249,6 +258,7 @@ func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dop
 		return nil, fmt.Errorf("codec: reduced decode of tiled stream needs tile size divisible by 2^%d", discard)
 	}
 	p := NewPipelineContext(ctx, dopt.Workers)
+	defer p.Close()
 	td := dopt
 	td.Workers = 1 // tiles are the parallel unit; inner stages run inline
 	terrs := make([]error, len(grid))

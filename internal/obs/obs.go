@@ -56,6 +56,7 @@ const (
 	StageIMCT                 // decode: inverse component transform + clamp (row stripes)
 	StageDecode               // whole-decode envelope (coordinator lane)
 	StageT1HT                 // Tier-1 block jobs through the HT (Part 15) coder
+	StageAdmit                // scheduler admission-queue wait (coordinator lane)
 	numStages
 )
 
@@ -63,7 +64,7 @@ var stageNames = [numStages]string{
 	"mct", "dwt-v", "dwt-h", "quant", "t1", "hull",
 	"rate", "t2", "frame", "calib", "tile", "encode",
 	"zero", "deq", "idwt-v", "idwt-h", "imct", "decode",
-	"t1ht",
+	"t1ht", "admit",
 }
 
 func (s Stage) String() string {
@@ -107,6 +108,9 @@ const (
 	CtrDecodeSingles                 // expensive blocks isolated as singleton partitions
 	CtrHTBlocks                      // code blocks coded by the HT (Part 15) coder
 	CtrHTBytes                       // bytes emitted by the HT coder (all streams + trailers)
+	CtrSchedSelfClaims               // shared-scheduler jobs claimed by the operation's own goroutine
+	CtrSchedPoolClaims               // shared-scheduler jobs claimed by pool workers (cross-lane capacity)
+	CtrSchedAdmitWaits               // operations that waited in the scheduler admission queue
 	numCounters
 )
 
@@ -122,6 +126,7 @@ var counterNames = [numCounters]string{
 	"fault_contained_panics",
 	"decode_t1_partitions", "decode_t1_singletons",
 	"ht_blocks", "ht_bytes",
+	"sched_self_claims", "sched_pool_claims", "sched_admit_waits",
 }
 
 // KernelCounter maps a simd kernel-set name ("scalar", "sse2", "avx2")

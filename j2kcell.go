@@ -192,6 +192,48 @@ func EncodeParallelContext(ctx context.Context, img *Image, opt Options, workers
 	return res.Data, &res.Stats, nil
 }
 
+// Scheduler is the process-wide worker pool that multiplexes the job
+// streams of concurrent encodes and decodes onto ~GOMAXPROCS
+// goroutines (DESIGN.md §12). Multi-worker operations use the default
+// scheduler automatically; bind an explicit one with WithScheduler to
+// isolate a tenant or shrink the pool, or opt out entirely with
+// WithPerCallPool.
+type Scheduler = codec.Scheduler
+
+// SchedConfig configures a Scheduler: pool width, admission bounds
+// (MaxActive running + MaxQueue waiting before ErrOverloaded), and the
+// lane-selection policy (round-robin or least-remaining-work).
+type SchedConfig = codec.SchedConfig
+
+// SchedStats is a snapshot of a scheduler's lanes, queue, and
+// fairness counters.
+type SchedStats = codec.SchedStats
+
+// ErrOverloaded is returned by the parallel encode/decode entry points
+// when the shared scheduler's admission queue is full. The operation
+// was never started; shed load or retry with backoff.
+var ErrOverloaded = codec.ErrOverloaded
+
+// NewScheduler builds an isolated scheduler (zero config fields take
+// defaults: GOMAXPROCS workers, 8×workers active, 4× that queued).
+func NewScheduler(cfg SchedConfig) *Scheduler { return codec.NewScheduler(cfg) }
+
+// WithScheduler binds operations started under ctx to s (nil selects
+// per-call worker pools).
+func WithScheduler(ctx context.Context, s *Scheduler) context.Context {
+	return codec.WithScheduler(ctx, s)
+}
+
+// WithPerCallPool opts operations under ctx out of the shared
+// scheduler: each operation spawns its own worker goroutines, the
+// pre-scheduler behavior. Benchmarks use it to A/B the two modes.
+func WithPerCallPool(ctx context.Context) context.Context {
+	return codec.WithPerCallPool(ctx)
+}
+
+// SchedulerStats snapshots the process-default shared scheduler.
+func SchedulerStats() SchedStats { return codec.DefaultScheduler().Stats() }
+
 var (
 	errEmptyImage = errors.New("j2kcell: empty image")
 	errGeometry   = errors.New("j2kcell: component geometry mismatch (subsampling unsupported)")
