@@ -34,9 +34,11 @@ bench:
 # speedup ratio reads directly off the merged artifact;
 # BenchmarkMixedConcurrency sweeps concurrent mixed load at c=1/4/8
 # over shared-scheduler vs per-call pools and reports the goroutine
-# high-water mark per row.
-BENCH_JSON ?= BENCH_pr9.json
-BENCH_BASELINE ?= bench/baseline_pr8.txt
+# high-water mark per row; BenchmarkDecodeResilient prices the
+# best-effort salvage path against the strict decoder on the same
+# resilient stream, undamaged and damaged.
+BENCH_JSON ?= BENCH_pr10.json
+BENCH_BASELINE ?= bench/baseline_pr9.txt
 bench-json:
 	$(GO) test -run '^$$' -bench 'Benchmark_Kernel' -benchmem ./internal/simd/ > bench/current.txt
 	$(GO) test -run '^$$' -bench 'Benchmark_T1|Benchmark_HT|Benchmark_RateControl' -benchmem ./internal/t1/ ./internal/rate/ >> bench/current.txt
@@ -50,6 +52,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/codec/ -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/codec/ -run '^$$' -fuzz '^FuzzDecodeHeaders$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/codec/ -run '^$$' -fuzz '^FuzzDecodeResilient$$' -fuzztime=$(FUZZTIME)
 
 # trace produces sample Chrome traces (open in chrome://tracing or
 # ui.perfetto.dev): the native encoder with one track per worker, and

@@ -502,6 +502,49 @@ func BenchmarkDecodeLossless(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeResilient prices the best-effort decode path against
+// the strict decoder on the same resilience-enabled stream: "plain" is
+// the strict DecodeWith, "resilient" the total salvage path on an
+// undamaged stream (the overhead of tolerant tile-part parsing plus
+// damage accounting), and "resilient-damaged" the same stream with a
+// corrupted byte mid-body (detection, concealment, and SOP resync on
+// top).
+func BenchmarkDecodeResilient(b *testing.B) {
+	img := benchDial()
+	data, _, err := Encode(img, Options{Lossless: true, Resilience: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resilient", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			_, rep := DecodeResilient(data, DecodeOptions{})
+			if rep.Damaged() {
+				b.Fatal("undamaged stream reported damage")
+			}
+		}
+	})
+	damaged := append([]byte(nil), data...)
+	damaged[2*len(damaged)/3] ^= 0x55
+	b.Run("resilient-damaged", func(b *testing.B) {
+		b.SetBytes(int64(len(damaged)))
+		for i := 0; i < b.N; i++ {
+			img, rep := DecodeResilient(damaged, DecodeOptions{})
+			if img == nil || rep == nil {
+				b.Fatal("best-effort decode not total")
+			}
+		}
+	})
+}
+
 func BenchmarkDWT53Forward(b *testing.B) {
 	const n = 1024
 	data := make([]int32, n*n)

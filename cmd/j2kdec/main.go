@@ -6,7 +6,16 @@
 // what the stream's header may declare (rejected before allocation),
 // and -timeout bounds wall time. Exit codes distinguish the failure:
 // 1 I/O, 2 usage, 3 malformed/over-limit stream, 4 contained codec
-// fault, 5 timeout.
+// fault, 5 timeout, 6 partial (best-effort decode of a damaged
+// stream).
+//
+// -best-effort decodes damaged streams as far as possible instead of
+// failing: lost packets and code blocks are concealed as zero
+// coefficients and the exit code reports partial success (6) so
+// scripts can tell a salvaged image from an intact one.
+// -damage-report additionally prints the structured loss map (per
+// tile: lost packets, concealed blocks with affected pixel regions,
+// resyncs, salvaged byte ratio).
 //
 // Observability matches j2kenc (see DESIGN.md §6), now covering the
 // decode pipeline's stages (zero, t1, deq, idwt-h, idwt-v, imct):
@@ -45,6 +54,8 @@ func main() {
 	report := flag.Bool("report", false, "print the per-stage wall-time / serial-fraction table")
 	metrics := flag.Bool("metrics", false, "print the counter and histogram table after decoding")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /debug/vars and /metrics on this address (e.g. :6060)")
+	bestEffort := flag.Bool("best-effort", false, "decode a damaged stream as far as possible; exit 6 if anything was lost")
+	damageReport := flag.Bool("damage-report", false, "print the per-tile damage report (implies -best-effort)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "j2kdec: need -in file.j2c")
@@ -70,17 +81,23 @@ func main() {
 		ctx, op = obs.WithOperation(ctx, "decode")
 		rec = op.Recorder()
 	}
-	start := time.Now()
-	img, err := j2kcell.DecodeWithContext(ctx, data, j2kcell.DecodeOptions{
+	dopt := j2kcell.DecodeOptions{
 		Workers: *workers,
 		Limits:  cli.Limits(*maxPixels, *maxDim),
-	})
+	}
+	start := time.Now()
+	var img *j2kcell.Image
+	var rep *j2kcell.DamageReport
+	if *bestEffort || *damageReport {
+		img, rep, err = j2kcell.DecodeResilientContext(ctx, data, dopt)
+	} else {
+		img, err = j2kcell.DecodeWithContext(ctx, data, dopt)
+	}
 	check(err)
 	elapsed := time.Since(start)
 
 	f, err := os.Create(*out)
 	check(err)
-	defer f.Close()
 	switch strings.ToLower(filepath.Ext(*out)) {
 	case ".pgm", ".ppm", ".pnm":
 		check(pnm.Encode(f, img))
@@ -95,7 +112,22 @@ func main() {
 		}
 		check(bmp.Encode(f, bimg))
 	}
+	check(f.Close())
 	fmt.Printf("%s: %dx%d decoded to %s in %v\n", *in, img.W, img.H, *out, elapsed.Round(time.Millisecond))
+	if rep != nil && *damageReport {
+		fmt.Println(rep.String())
+		for _, td := range rep.Tiles {
+			fmt.Printf("  tile %d: %d/%d packets lost, %d concealed blocks, %d resyncs, region {%d %d %d %d}\n",
+				td.Index, td.LostPackets, td.TotalPackets, len(td.LostBlocks), td.Resyncs,
+				td.Region.X0, td.Region.Y0, td.Region.W, td.Region.H)
+		}
+	}
+	if rep != nil && rep.Damaged() {
+		fmt.Fprintf(os.Stderr,
+			"j2kdec: stream damaged: %d/%d packets and %d/%d blocks lost, %d resyncs, %.1f%% of payload salvaged\n",
+			rep.LostPackets, rep.TotalPackets, rep.LostBlocks, rep.TotalBlocks,
+			rep.Resyncs, 100*rep.SalvagedRatio())
+	}
 
 	if rec != nil {
 		op.Finish()
@@ -114,6 +146,9 @@ func main() {
 			fmt.Printf("trace: %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
 				*traceOut, len(spans))
 		}
+	}
+	if rep != nil && rep.Damaged() {
+		os.Exit(cli.ExitPartial)
 	}
 }
 

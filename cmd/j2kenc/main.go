@@ -38,6 +38,7 @@ func main() {
 	levels := flag.Int("levels", 5, "DWT decomposition levels")
 	cb := flag.Int("cb", 64, "code block size (16, 32 or 64)")
 	ht := flag.Bool("ht", false, "use the high-throughput (Part 15) block coder instead of the MQ coder")
+	resilience := flag.Bool("resilience", false, "emit the Part-1 error-resilience tools (SOP markers, per-pass termination, segmentation symbols) so damaged streams stay salvageable")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "Tier-1 worker goroutines (1 = sequential)")
 	traceOut := flag.String("trace", "", "write a Chrome trace JSON timeline to this file")
 	report := flag.Bool("report", false, "print the per-stage wall-time / serial-fraction table")
@@ -66,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := j2kcell.Options{Lossless: *lossless, Levels: *levels, CBW: *cb, CBH: *cb, HT: *ht}
+	opt := j2kcell.Options{Lossless: *lossless, Levels: *levels, CBW: *cb, CBH: *cb, HT: *ht, Resilience: *resilience}
 	if *rate > 0 {
 		opt.Lossless = false
 		opt.Rate = *rate

@@ -16,6 +16,10 @@
 //	            (reduced-resolution) decodes
 //	ht        — alternating HT and MQ lossless encodes, so the SLO
 //	            table splits the two coders into separate classes
+//	corrupt   — best-effort decodes of pre-corrupted resilient streams
+//	            (bit flips and truncations in the tile bodies): the
+//	            damage-containment path, exporting j2k_resync_total
+//	            and j2k_concealed_blocks_total
 //
 // After the run it prints per-scenario throughput and the per-class
 // SLO latency table (p50/p95/p99) from the aggregate registry.
@@ -26,9 +30,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -56,7 +62,7 @@ func main() {
 	size := flag.Int("size", 384, "base image edge in pixels")
 	opworkers := flag.Int("opworkers", runtime.GOMAXPROCS(0), "pipeline workers inside each operation")
 	shared := flag.Bool("shared", true, "run operations on the shared process-wide scheduler (false: per-call worker pools)")
-	names := flag.String("scenarios", "thumbnail,archival,window,ht", "comma-separated scenario mix")
+	names := flag.String("scenarios", "thumbnail,archival,window,ht", "comma-separated scenario mix (thumbnail, archival, window, ht, corrupt)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :0)")
 	hold := flag.Duration("hold", 0, "keep serving -metrics this long after the run")
 	traceOut := flag.String("trace", "", "write a Chrome trace interleaving the first operations as separate processes")
@@ -85,7 +91,7 @@ func main() {
 		}
 		s, ok := all[nm]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "j2kload: unknown scenario %q (have: thumbnail, archival, window, ht)\n", nm)
+			fmt.Fprintf(os.Stderr, "j2kload: unknown scenario %q (have: thumbnail, archival, window, ht, corrupt)\n", nm)
 			os.Exit(cli.ExitUsage)
 		}
 		mix = append(mix, s)
@@ -219,7 +225,13 @@ func main() {
 	}
 
 	if *selfcheck {
-		fail(runSelfcheck(boundAddr, *shared && *opworkers > 1))
+		hasCorrupt := false
+		for _, s := range mix {
+			if s.name == "corrupt" {
+				hasCorrupt = true
+			}
+		}
+		fail(runSelfcheck(boundAddr, *shared && *opworkers > 1, hasCorrupt))
 	}
 	if *hold > 0 && boundAddr != "" {
 		fmt.Printf("holding %v for scrapes of http://%s/metrics\n", *hold, boundAddr)
@@ -235,8 +247,11 @@ func main() {
 // the run left a coherent trail: some operations completed
 // (j2k_operations_total > 0) and the SLO histograms observed them.
 // When the run used the shared scheduler (requireSched), the scheduler
-// gauges must be exported and its lanes-opened counter nonzero.
-func runSelfcheck(addr string, requireSched bool) error {
+// gauges must be exported and its lanes-opened counter nonzero. When
+// the mix included the corrupt scenario (requireResilient), the
+// resilience counters must show that damage was actually encountered
+// and contained: j2k_resync_total and j2k_concealed_blocks_total > 0.
+func runSelfcheck(addr string, requireSched, requireResilient bool) error {
 	resp, err := http.Get("http://" + addr + "/metrics")
 	if err != nil {
 		return fmt.Errorf("selfcheck: %w", err)
@@ -252,7 +267,7 @@ func runSelfcheck(addr string, requireSched bool) error {
 	if err != nil {
 		return fmt.Errorf("selfcheck: malformed exposition: %w", err)
 	}
-	var opsTotal, sloCount, lanesOpened float64
+	var opsTotal, sloCount, lanesOpened, resyncs, concealed float64
 	schedGauges := 0
 	for _, s := range samples {
 		switch s.Name {
@@ -262,6 +277,10 @@ func runSelfcheck(addr string, requireSched bool) error {
 			sloCount += s.Value
 		case "j2k_scheduler_lanes_opened_total":
 			lanesOpened += s.Value
+		case "j2k_resync_total":
+			resyncs += s.Value
+		case "j2k_concealed_blocks_total":
+			concealed += s.Value
 		case "j2k_scheduler_workers", "j2k_scheduler_lanes_open",
 			"j2k_scheduler_active_ops", "j2k_scheduler_queue_depth":
 			schedGauges++
@@ -279,6 +298,14 @@ func runSelfcheck(addr string, requireSched bool) error {
 		}
 		if lanesOpened <= 0 {
 			return fmt.Errorf("selfcheck: j2k_scheduler_lanes_opened_total is %v after a shared-scheduler run, want > 0", lanesOpened)
+		}
+	}
+	if requireResilient {
+		if resyncs <= 0 {
+			return fmt.Errorf("selfcheck: j2k_resync_total is %v after the corrupt scenario, want > 0", resyncs)
+		}
+		if concealed <= 0 {
+			return fmt.Errorf("selfcheck: j2k_concealed_blocks_total is %v after the corrupt scenario, want > 0", concealed)
 		}
 	}
 	fmt.Printf("selfcheck ok: %d samples, %v operations recorded\n", len(samples), opsTotal)
@@ -357,11 +384,62 @@ func scenarios() map[string]*scenario {
 		return err
 	}
 
+	// corrupt: setup encodes one resilient stream (SOP/EPH markers,
+	// segmentation symbols, per-pass termination) and pre-damages
+	// deterministic variants — bit flips inside the tile bodies and
+	// truncations — so the timed operations exercise resync and
+	// block concealment, never workload generation.
+	var corData [][]byte
+	var corWk int
+	corrupt := &scenario{name: "corrupt"}
+	corrupt.setup = func(size, wk int) error {
+		img := j2kcell.TestImage(size/2, size/2, 17)
+		data, _, err := j2kcell.Encode(img, j2kcell.Options{
+			Lossless: true, Resilience: true, TileW: size / 4, TileH: size / 4,
+		})
+		if err != nil {
+			return err
+		}
+		sod := bytes.Index(data, []byte{0xFF, 0x93})
+		if sod < 0 || len(data)-sod < 16 {
+			return fmt.Errorf("corrupt: no tile body in seed stream")
+		}
+		body := sod + 2
+		rng := rand.New(rand.NewSource(5))
+		for v := 0; v < 16; v++ {
+			m := append([]byte(nil), data...)
+			if v%4 == 3 {
+				m = m[:body+rng.Intn(len(m)-body)]
+			} else {
+				for k := 0; k <= v%3; k++ {
+					m[body+rng.Intn(len(m)-body)] ^= byte(1 << rng.Intn(8))
+				}
+			}
+			corData = append(corData, m)
+		}
+		corWk = wk
+		return nil
+	}
+	corrupt.run = func(ctx context.Context, i int) error {
+		img, rep, err := j2kcell.DecodeResilientContext(ctx, corData[i%len(corData)], j2kcell.DecodeOptions{Workers: corWk})
+		if err != nil {
+			return err
+		}
+		if img == nil || rep == nil {
+			return fmt.Errorf("corrupt: best-effort decode returned nil image or report")
+		}
+		if rep.SalvagedBytes > rep.TotalBytes || rep.LostPackets > rep.TotalPackets {
+			return fmt.Errorf("corrupt: inconsistent damage report: %v", rep)
+		}
+		return nil
+	}
+
 	return map[string]*scenario{
 		"thumbnail": thumbnail,
 		"archival":  archival,
 		"window":    window,
 		"ht":        ht,
+		"corrupt":   corrupt,
 	}
 }
 

@@ -20,6 +20,7 @@ const (
 	ExitFormat  = 3 // malformed, truncated, or limit-exceeding codestream
 	ExitFault   = 4 // contained codec fault (a bug, not bad input)
 	ExitTimeout = 5 // -timeout exceeded or operation cancelled
+	ExitPartial = 6 // best-effort decode succeeded but the stream was damaged
 )
 
 // ExitCode maps an error to the shared exit-code convention.

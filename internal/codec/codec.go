@@ -46,10 +46,16 @@ type Options struct {
 	// Tiling bounds encoder memory and adds a coarse parallel axis at
 	// the cost of boundary artifacts at low rates.
 	TileW, TileH int
-	// Resilience prefixes every packet with an SOP resync marker
-	// (T.800 Scod bit 1). A decoder hitting a corrupt packet header can
-	// then skip to the next marker and keep going, losing only the
-	// damaged packet's blocks instead of the rest of the stream.
+	// Resilience enables the Part-1 error-resilience coding tools:
+	// every packet is prefixed with an SOP resync marker (T.800 Scod
+	// bit 1), and on the MQ path every coding pass is independently
+	// terminated (TERMALL) and every cleanup pass closes with the 1010
+	// segmentation symbol — so damage inside Tier-1 data is detected by
+	// the decoder instead of decoding to silent garbage, and a
+	// best-effort decode (DecodeResilient) can contain it to the
+	// affected code block. The HT path already carries per-segment
+	// trailers checked for consistency. Costs a few bytes per pass and
+	// six per packet.
 	Resilience bool
 	// HT selects the high-throughput (Part 15 style) block coder for
 	// Tier-1 instead of the MQ arithmetic coder. Lossless output stays
@@ -138,14 +144,19 @@ func (o Options) WithDefaults(w, h int) Options {
 }
 
 // Mode returns the Tier-1 termination style for these options:
-// per-pass termination exactly when rate control will truncate or
-// layer boundaries must be independently decodable.
+// per-pass termination exactly when rate control will truncate, layer
+// boundaries must be independently decodable, or the resilience tools
+// need every pass to be a damage-containment boundary (in which case
+// MQ blocks also code segmentation symbols).
 func (o Options) Mode() t1.Mode {
 	if o.HT {
 		if !o.Lossless && (o.Rate > 0 || len(o.LayerRates) > 0) {
 			return t1.ModeHTRefine
 		}
 		return t1.ModeHT
+	}
+	if o.Resilience {
+		return t1.ModeTermAll.WithSegSym()
 	}
 	if !o.Lossless && (o.Rate > 0 || len(o.LayerRates) > 0) {
 		return t1.ModeTermAll

@@ -2,7 +2,9 @@ package codec
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"j2kcell/internal/codestream"
@@ -48,6 +50,14 @@ type DecodeOptions struct {
 	// any plane or tile table is allocated. Nil applies DefaultLimits;
 	// point at a zero Limits{} to disable limiting.
 	Limits *Limits
+	// BestEffort decodes damaged streams as far as possible instead of
+	// failing on the first error: detection failures discard only the
+	// affected code block, packet, or tile-part (concealed as zero
+	// coefficients), and the decode resynchronizes on SOP/SOT markers.
+	// DecodeWithOptions then never reports stream damage as an error;
+	// use DecodeResilient to also receive the DamageReport saying what
+	// was lost.
+	BestEffort bool
 }
 
 // limits resolves the effective header limits.
@@ -58,15 +68,30 @@ func (d DecodeOptions) limits() Limits {
 	return DefaultLimits()
 }
 
-// findSOP returns the offset of the next SOP marker at or after `from`
-// (-1 if none).
-func findSOP(body []byte, from int) int {
-	for i := from; i+5 < len(body); i++ {
-		if body[i] == 0xFF && body[i+1] == 0x91 && body[i+2] == 0x00 && body[i+3] == 0x04 {
-			return i
+// sopSeqWindow bounds how far ahead of the expected packet index a
+// candidate SOP's Nsop may point and still be accepted as genuine. The
+// FF 91 00 04 prefix is only four bytes, so packet bodies produce fake
+// candidates at random; requiring the 16-bit sequence number to land in
+// a small forward window rejects them (a fake passes with probability
+// window/2^16 per candidate) while still resyncing across long damaged
+// runs of packets.
+const sopSeqWindow = 512
+
+// findSOP scans body from `from` for an SOP marker whose Nsop falls in
+// [expect, expect+sopSeqWindow) mod 2^16 and returns its offset and the
+// absolute packet index it names (>= expect). Returns (-1, 0) when no
+// acceptable marker remains.
+func findSOP(body []byte, from, expect int) (int, int) {
+	for i := from; i+6 <= len(body); i++ {
+		if body[i] != 0xFF || body[i+1] != 0x91 || body[i+2] != 0x00 || body[i+3] != 0x04 {
+			continue
+		}
+		seq := int(body[i+4])<<8 | int(body[i+5])
+		if d := (seq - expect) & 0xFFFF; d < sopSeqWindow {
+			return i, expect + d
 		}
 	}
-	return -1
+	return -1, 0
 }
 
 // regionSet reports whether a window was requested.
@@ -119,6 +144,13 @@ func DecodeContext(ctx context.Context, data []byte) (*imgmodel.Image, error) {
 // limit-exceeding input surfaces as *FormatError, a contained worker
 // panic as *FaultError, and cancellation as ctx.Err() unwrapped.
 func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (img *imgmodel.Image, err error) {
+	if dopt.BestEffort {
+		// The resilient path carries its own SLO envelope, admission and
+		// fault containment; stream damage lands in the (discarded here)
+		// report, never in err.
+		img, _, err := DecodeResilientContext(ctx, data, dopt)
+		return img, err
+	}
 	rec := obs.Current(ctx)
 	// SLO envelope. The operation class (lossless/tiled/HT bits) is only
 	// known once the main header parses, so it is latched below;
@@ -190,7 +222,7 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 	if tiled {
 		return decodeTiled(ctx, h, bodies, dopt)
 	}
-	tile, err := decodeTile(ctx, h, h.W, h.H, bodies[0], dopt)
+	tile, err := decodeTile(ctx, h, h.W, h.H, bodies[0], dopt, nil)
 	if err != nil || !dopt.regionSet() {
 		return tile, err
 	}
@@ -200,8 +232,11 @@ func DecodeWithContext(ctx context.Context, data []byte, dopt DecodeOptions) (im
 
 // decodeTile reconstructs one tile of tw×th samples from its packet
 // body. The pipeline bound to ctx carries both the Tier-1 worker pool
-// and the cancellation checks of the packet-parse loop.
-func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []byte, dopt DecodeOptions) (*imgmodel.Image, error) {
+// and the cancellation checks of the packet-parse loop. A non-nil dmg
+// switches the tile to best-effort mode: packet parse failures, Tier-1
+// detection failures and contained worker faults are demoted to
+// localized concealment recorded in dmg instead of failing the tile.
+func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []byte, dopt DecodeOptions, dmg *tileDamage) (*imgmodel.Image, error) {
 	p := NewPipelineContext(ctx, dopt.Workers)
 	defer p.Close()
 	bands := dwt.Layout(tw, th, h.Levels)
@@ -214,6 +249,11 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 		mode, style = t1.ModeHT, t2.SegTermAll
 	case h.TermAll:
 		mode, style = t1.ModeTermAll, t2.SegTermAll
+	}
+	if h.SegSym {
+		// The encoder closed every cleanup pass with the 1010 sentinel;
+		// the MQ decoder must consume (and verify) it to stay in sync.
+		mode = mode.WithSegSym()
 	}
 	maxLayers := h.Layers
 	if dopt.MaxLayers > 0 && dopt.MaxLayers < maxLayers {
@@ -242,47 +282,100 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 		}
 	}
 
+	order := PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp)
+	if dmg != nil {
+		dmg.totalPackets = len(order)
+	}
 	off := 0
-	for _, lrc := range PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp) {
+	skipTo := 0 // packets below this index were lost to a resync jump
+	for pi := 0; pi < len(order); pi++ {
 		if p.stopped() {
 			return nil, p.Err()
 		}
-		l, r, c := lrc[0], lrc[1], lrc[2]
+		if pi < skipTo {
+			// A resync landed on a later packet's SOP: this packet's
+			// data never arrived (or was unparsable); its blocks simply
+			// get no contribution from this layer.
+			if dmg != nil {
+				dmg.lostPackets++
+			}
+			continue
+		}
+		l, r, c := order[pi][0], order[pi][1], order[pi][2]
 		resBands := ResBands(h.Levels, r)
 		var pkt []*t2.Precinct
 		for _, bi := range resBands {
 			pkt = append(pkt, precincts[key{c, bi}])
 		}
 		if h.SOPMarkers {
-			// Each packet is prefixed FF 91 00 04 seq16; resync here.
-			at := findSOP(body, off)
+			// Each packet is prefixed FF 91 00 04 seq16. The sequence
+			// number is validated against the expected packet index, so
+			// a fake FF 91 inside packet-body data cannot hijack the
+			// resync (see findSOP).
+			at, idx := findSOP(body, off, pi)
 			if at < 0 {
-				break // no more packets recoverable
+				// No acceptable marker remains: the tail is gone.
+				if dmg != nil {
+					dmg.lostPackets += len(order) - pi
+					dmg.truncated = true
+				}
+				break
+			}
+			if idx > pi {
+				// The stream jumps ahead: packets pi..idx-1 are missing.
+				// Leave the marker in place and let the loop skip to it
+				// so precinct state stays aligned with packet indices.
+				skipTo = idx
+				if dmg != nil {
+					dmg.resyncs++
+				}
+				pi--
+				continue
 			}
 			off = at + 6
 		}
 		n, err := t2.DecodePacketEPH(body[off:], pkt, l, style, h.SOPMarkers)
 		if err != nil {
-			if h.SOPMarkers {
-				// Damaged packet: drop its contributions, clear the
-				// parsed state, and resync at the next marker.
-				for _, p := range pkt {
-					for i := range p.Blocks {
-						if p.Blocks[i] != nil {
-							p.Blocks[i].NumPasses = 0
-						}
+			// Damaged packet: drop its contributions and clear any
+			// partially parsed state.
+			for _, p := range pkt {
+				for i := range p.Blocks {
+					if p.Blocks[i] != nil {
+						p.Blocks[i].NumPasses = 0
 					}
 				}
-				if at := findSOP(body, off); at >= 0 {
+			}
+			if h.SOPMarkers {
+				// Resync: scan for the next packet's marker (this one's
+				// SOP is already consumed, so expect pi+1 onward).
+				if dmg != nil {
+					dmg.lostPackets++
+					dmg.resyncs++
+				}
+				if at, _ := findSOP(body, off, pi+1); at >= 0 {
 					off = at
 				} else {
 					off = len(body)
 				}
 				continue
 			}
+			if dmg != nil {
+				// Without resync markers the packet boundary is lost, so
+				// everything from here on is undecodable — but every
+				// fully received packet before it is already banked.
+				dmg.lostPackets += len(order) - pi
+				dmg.truncated = true
+				break
+			}
 			return nil, formatErrf(err, "packet l=%d r=%d c=%d", l, r, c)
 		}
 		off += n
+		if dmg != nil {
+			dmg.salvaged += int64(n)
+			if h.SOPMarkers {
+				dmg.salvaged += 6
+			}
+		}
 		if l >= maxLayers || r > keepRes {
 			continue // parsed for position, contents discarded
 		}
@@ -387,23 +480,31 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	if mode.IsHT() {
 		st = obs.StageT1HT
 	}
-	errs := make([]error, len(parts))
-	p.runCost(st, 0, len(parts), partCost, func(i int) {
-		for t := parts[i].lo; t < parts[i].hi; t++ {
-			if err := decodeOne(tasks[t]); err != nil {
-				errs[i] = err
-				return
-			}
-		}
-	})
-	if perr := p.Err(); perr != nil {
-		putPlanes(planes)
-		return nil, perr
-	}
-	for _, err := range errs {
-		if err != nil {
+	if dmg != nil {
+		dmg.totalBlocks = len(tasks)
+		if err := decodeBlocksBestEffort(p, st, h, bands, tw, th, tasks, parts, partCost, decodeOne, dmg); err != nil {
 			putPlanes(planes)
 			return nil, err
+		}
+	} else {
+		errs := make([]error, len(parts))
+		p.runCost(st, 0, len(parts), partCost, func(i int) {
+			for t := parts[i].lo; t < parts[i].hi; t++ {
+				if err := decodeOne(tasks[t]); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		})
+		if perr := p.Err(); perr != nil {
+			putPlanes(planes)
+			return nil, perr
+		}
+		for _, err := range errs {
+			if err != nil {
+				putPlanes(planes)
+				return nil, err
+			}
 		}
 	}
 
@@ -413,6 +514,90 @@ func decodeTile(ctx context.Context, h *codestream.Header, tw, th int, body []by
 	img, err := reconstructReduced(h, bands, planes, tw, th, discard)
 	putPlanes(planes)
 	return img, err
+}
+
+// decodeBlocksBestEffort drains the Tier-1 partitions with per-block
+// damage demotion. Two failure classes are contained here:
+//
+//   - Detection failures (MQ segmentation-symbol mismatch, HT trailer
+//     inconsistency, malformed segments): decodeOne returns an error,
+//     the worker conceals that block as zero coefficients, records the
+//     loss, and the partition continues with its next block.
+//   - Worker faults (a panic inside Tier-1, or an injected fault): the
+//     pipeline's first-error latch holds a *FaultError naming the
+//     partition; the coordinator conceals the single block that
+//     partition was positioned on, clears the latch, and reruns — done
+//     partitions exit immediately, so only remaining work repeats.
+//
+// Context cancellation and non-fault pipeline errors still fail the
+// tile. Partitions own disjoint task ranges writing disjoint plane
+// regions, so concealment never races with live decoding.
+func decodeBlocksBestEffort(p *Pipeline, st obs.Stage, h *codestream.Header, bands []dwt.Band, tw, th int,
+	tasks []blockTask, parts []decodePart, partCost int64, decodeOne func(blockTask) error, dmg *tileDamage) error {
+	conceal := func(t int, cause string) {
+		tk := tasks[t]
+		pl := tk.plane
+		for y := tk.y0; y < tk.y0+tk.bh; y++ {
+			row := pl.Data[y*pl.Stride+tk.x0 : y*pl.Stride+tk.x0+tk.bw]
+			for i := range row {
+				row[i] = 0
+			}
+		}
+		dmg.lost = append(dmg.lost, BlockLoss{
+			Comp: tk.c, Band: tk.bi, GX: tk.gx, GY: tk.gy,
+			Region: lostRegion(bands[tk.bi].Level, tk.gx, tk.gy, h.CBW, h.CBH, tw, th),
+			Cause:  cause,
+		})
+	}
+	// next[i] is partition i's progress cursor. Within one run only the
+	// worker holding partition i advances it, and runCost's completion
+	// orders every access across reruns.
+	next := make([]int, len(parts))
+	for i := range parts {
+		next[i] = parts[i].lo
+	}
+	var mu sync.Mutex // serializes loss recording across workers
+	// Each rerun either finishes or handles one fault, and a fault
+	// demotes at most one block, so tasks+parts bounds any terminating
+	// sequence; the slack absorbs faults that land on done partitions.
+	for attempt := 0; attempt <= len(tasks)+len(parts)+4; attempt++ {
+		p.runCost(st, 0, len(parts), partCost, func(i int) {
+			for next[i] < parts[i].hi {
+				t := next[i]
+				if err := decodeOne(tasks[t]); err != nil {
+					mu.Lock()
+					conceal(t, err.Error())
+					mu.Unlock()
+				}
+				next[i] = t + 1
+			}
+		})
+		perr := p.Err()
+		if perr == nil {
+			return nil
+		}
+		var fe *FaultError
+		if !errors.As(perr, &fe) || p.Context().Err() != nil {
+			return perr // cancellation or a non-fault pipeline error
+		}
+		// An injected fault fires before the job body and a panic fires
+		// inside it; either way the victim is the block the faulted
+		// partition is positioned on.
+		if j := fe.Job; j >= 0 && j < len(parts) && next[j] < parts[j].hi {
+			conceal(next[j], fmt.Sprintf("contained fault in stage %s", fe.Stage))
+			next[j]++
+		}
+		dmg.faults = append(dmg.faults, FaultRef{Stage: fe.Stage, Lane: fe.Lane, Job: fe.Job})
+		p.clearFault()
+	}
+	// A fault storm outlasted the demotion budget: abandon the rest.
+	for i := range parts {
+		for ; next[i] < parts[i].hi; next[i]++ {
+			conceal(next[i], "abandoned after repeated faults")
+		}
+	}
+	p.clearFault()
+	return nil
 }
 
 // blockTask is one accumulated code block awaiting Tier-1 decode.

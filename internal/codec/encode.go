@@ -114,7 +114,8 @@ func finishRD(rec *obs.Recorder, img *imgmodel.Image, opt Options, jobs []BlockJ
 			Layers: len(keeps), Progression: int(opt.Progression),
 			SOPMarkers: opt.Resilience,
 			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
-			TermAll: mode == t1.ModeTermAll, HT: opt.HT, BaseDelta: opt.BaseDelta, Mb: mb,
+			TermAll: mode.Base() == t1.ModeTermAll, SegSym: mode.SegSym(),
+			HT: opt.HT, BaseDelta: opt.BaseDelta, Mb: mb,
 		}
 		sp = ln.Begin(obs.StageFrame, 0, 0)
 		data := codestream.Encode(head, body)
@@ -332,7 +333,7 @@ func AssemblePackets(w, h, ncomp int, opt Options, jobs []BlockJob, blocks []*t1
 	// headers: the cleanup/SigProp/MagRef byte streams are separately
 	// terminated by construction, exactly like TermAll MQ segments.
 	style := t2.SegSingle
-	if m := opt.Mode(); m == t1.ModeTermAll || m.IsHT() {
+	if m := opt.Mode(); m.Base() == t1.ModeTermAll || m.IsHT() {
 		style = t2.SegTermAll
 	}
 

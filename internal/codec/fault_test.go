@@ -201,6 +201,67 @@ func TestFaultInjectionMatrix(t *testing.T) {
 	}
 }
 
+// TestBestEffortDemotesTier1Faults extends the fault matrix with the
+// best-effort rows: a panic or injected error in one Tier-1 job must
+// demote to the loss of exactly one code block — sibling blocks decode
+// pixel-identical to the undamaged reference — with the fault's
+// stage/lane/job coordinates carried into the damage report instead of
+// being dropped at the first-error latch.
+func TestBestEffortDemotesTier1Faults(t *testing.T) {
+	img := workload.Dial(128, 128, 9, 4)
+	res, err := Encode(img, Options{Lossless: true, Resilience: true, CBW: 16, CBH: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Decode(res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []faults.Mode{faults.Panic, faults.Error} {
+		for _, workers := range []int{1, 2, 8} {
+			name := fmt.Sprintf("t1/w%d/mode%d/best-effort", workers, mode)
+			faults.Arm("t1", 2, mode)
+			dec, rep := DecodeResilient(res.Data, DecodeOptions{Workers: workers})
+			fired := faults.Fired()
+			faults.Disarm()
+			if fired != 1 {
+				t.Fatalf("%s: fault fired %d times, want 1", name, fired)
+			}
+			if rep.LostBlocks != 1 {
+				t.Fatalf("%s: %d blocks lost, want the single faulted one: %v", name, rep.LostBlocks, rep)
+			}
+			if len(rep.Tiles) != 1 {
+				t.Fatalf("%s: %d damaged tiles, want 1", name, len(rep.Tiles))
+			}
+			td := rep.Tiles[0]
+			if len(td.Faults) != 1 || td.Faults[0].Stage != "t1" || td.Faults[0].Job < 0 {
+				t.Fatalf("%s: fault coordinates not propagated into report: %+v", name, td.Faults)
+			}
+			if rep.LostPackets != 0 || rep.Truncated {
+				t.Fatalf("%s: unrelated damage reported: %v", name, rep)
+			}
+			// Sibling blocks: every pixel outside the lost block's
+			// region matches the undamaged decode exactly.
+			reg := td.Region
+			if reg.W <= 0 || reg.H <= 0 {
+				t.Fatalf("%s: lost block has empty region", name)
+			}
+			for c := range ref.Comps {
+				for y := 0; y < ref.H; y++ {
+					rrow, drow := ref.Comps[c].Row(y), dec.Comps[c].Row(y)
+					for x := 0; x < ref.W; x++ {
+						in := x >= reg.X0 && x < reg.X0+reg.W && y >= reg.Y0 && y < reg.Y0+reg.H
+						if !in && rrow[x] != drow[x] {
+							t.Fatalf("%s: sibling pixel (%d,%d,c%d) damaged outside region %+v",
+								name, x, y, c, reg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestFaultErrorCarriesCoordinates checks the located fields and the
 // unwrap chain of both fault flavors.
 func TestFaultErrorCarriesCoordinates(t *testing.T) {

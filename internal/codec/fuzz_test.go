@@ -70,6 +70,40 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzDecodeResilient pins best-effort totality: arbitrary input must
+// yield an image and a self-consistent damage report — never an error,
+// a panic, or a hang.
+func FuzzDecodeResilient(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, rep := DecodeResilient(data, DecodeOptions{Limits: &fuzzLimits})
+		if img == nil || rep == nil {
+			t.Fatal("DecodeResilient must be total")
+		}
+		if img.W <= 0 || img.H <= 0 || len(img.Comps) == 0 {
+			t.Fatalf("bogus image: %dx%d", img.W, img.H)
+		}
+		if rep.SalvagedBytes > rep.TotalBytes {
+			t.Fatalf("salvaged %d > total %d", rep.SalvagedBytes, rep.TotalBytes)
+		}
+		if rep.LostPackets > rep.TotalPackets || rep.LostBlocks > rep.TotalBlocks {
+			t.Fatalf("inconsistent report: %+v", rep)
+		}
+		if rep.Complete && rep.HeaderOK {
+			// A complete report promises identity with the strict path.
+			strict, err := DecodeWith(data, DecodeOptions{Limits: &fuzzLimits})
+			if err != nil {
+				t.Fatalf("Complete report but strict decode fails: %v", err)
+			}
+			if !imagesEqual(img, strict) {
+				t.Fatal("Complete report but images differ from strict decode")
+			}
+		}
+	})
+}
+
 // FuzzDecodeHeaders targets the marker-segment parser alone, where
 // most attacker-controlled arithmetic lives, with the limit checks in
 // the loop.

@@ -177,7 +177,8 @@ func InspectLimits(data []byte, lim Limits) (*StreamInfo, error) {
 		}
 	}
 	off := 0
-	for _, lrc := range PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp) {
+	order := PacketOrder(Progression(h.Progression), h.Layers, h.Levels, h.NComp)
+	for pi, lrc := range order {
 		l, r, c := lrc[0], lrc[1], lrc[2]
 		resBands := ResBands(h.Levels, r)
 		var pkt []*t2.Precinct
@@ -185,7 +186,7 @@ func InspectLimits(data []byte, lim Limits) (*StreamInfo, error) {
 			pkt = append(pkt, precincts[key{c, bi}])
 		}
 		if h.SOPMarkers {
-			at := findSOP(body, off)
+			at, _ := findSOP(body, off, pi)
 			if at < 0 {
 				break
 			}

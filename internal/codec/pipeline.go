@@ -136,6 +136,18 @@ func (p *Pipeline) Err() error {
 	return p.ctx.Err()
 }
 
+// clearFault resets the first-error latch and the abort flag so a
+// best-effort stage can demote a contained fault to localized damage
+// and resume draining. Callers must only invoke it between run calls
+// (no workers in flight) — the resilient Tier-1 retry loop does, after
+// concealing the faulted block.
+func (p *Pipeline) clearFault() {
+	p.mu.Lock()
+	p.err = nil
+	p.mu.Unlock()
+	p.aborted.Store(false)
+}
+
 // stopped reports whether workers should stop claiming jobs: a stage
 // fault was recorded or the context is done. It is the per-claim hot
 // check — one atomic load plus a non-blocking channel poll (the poll

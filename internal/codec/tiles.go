@@ -200,7 +200,8 @@ func EncodeTiledContext(ctx context.Context, img *imgmodel.Image, opt Options, w
 			Layers: len(keeps), Progression: int(opt.Progression),
 			SOPMarkers: opt.Resilience,
 			Lossless:   opt.Lossless, UseMCT: ncomp == 3,
-			TermAll: mode == t1.ModeTermAll, HT: opt.HT, BaseDelta: opt.BaseDelta, Mb: mb,
+			TermAll: mode.Base() == t1.ModeTermAll, SegSym: mode.SegSym(),
+			HT: opt.HT, BaseDelta: opt.BaseDelta, Mb: mb,
 		}
 		sp.End()
 		sp = ln.Begin(obs.StageFrame, 0, 0)
@@ -289,7 +290,7 @@ func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dop
 			lo.H = minI(reg.Y0+reg.H, r.Y0+r.H) - (r.Y0 + lo.Y0)
 			tdi := td
 			tdi.Region = lo
-			tile, err := decodeTile(p.Context(), h, r.W, r.H, bodies[i], tdi)
+			tile, err := decodeTile(p.Context(), h, r.W, r.H, bodies[i], tdi, nil)
 			if err != nil {
 				if passthrough(err) {
 					p.Fail(err)
@@ -314,7 +315,7 @@ func decodeTiled(ctx context.Context, h *codestream.Header, bodies [][]byte, dop
 	out := imgmodel.NewImage(rw, rh, h.NComp, h.Depth)
 	p.run(obs.StageTile, 0, len(grid), func(i int) {
 		r := grid[i]
-		tile, err := decodeTile(p.Context(), h, r.W, r.H, bodies[i], td)
+		tile, err := decodeTile(p.Context(), h, r.W, r.H, bodies[i], td, nil)
 		if err != nil {
 			if passthrough(err) {
 				p.Fail(err)

@@ -42,6 +42,7 @@ type Header struct {
 	Lossless     bool
 	UseMCT       bool
 	TermAll      bool
+	SegSym       bool // cleanup passes end with the 1010 segmentation symbol
 	HT           bool // blocks coded with the high-throughput (Part 15) coder
 	BaseDelta    float64
 	Mb           [][]int // [component][band] coded bit planes
@@ -135,6 +136,9 @@ func EncodeTiles(h *Header, bodies [][]byte) []byte {
 	if h.TermAll {
 		cod[8] = 0x04 // code block style: terminate each pass
 	}
+	if h.SegSym {
+		cod[8] |= 0x20 // code block style: segmentation symbols
+	}
 	if h.HT {
 		cod[8] |= 0x40 // code block style: HT code blocks (HTDECLARED)
 	}
@@ -213,28 +217,7 @@ func DecodeTilesLimits(data []byte, lim Limits) (*Header, [][]byte, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			if len(p) < 38 {
-				return nil, nil, fmt.Errorf("codestream: SIZ too short")
-			}
-			h.W = int(binary.BigEndian.Uint32(p[2:]))
-			h.H = int(binary.BigEndian.Uint32(p[6:]))
-			h.NComp = int(binary.BigEndian.Uint16(p[34:]))
-			if h.NComp <= 0 || len(p) < 36+3*h.NComp {
-				return nil, nil, fmt.Errorf("codestream: bad SIZ component count")
-			}
-			if h.W <= 0 || h.H <= 0 || h.W > 1<<26 || h.H > 1<<26 {
-				return nil, nil, fmt.Errorf("codestream: implausible image size %dx%d", h.W, h.H)
-			}
-			h.TileW = int(binary.BigEndian.Uint32(p[18:]))
-			h.TileH = int(binary.BigEndian.Uint32(p[22:]))
-			if h.TileW <= 0 || h.TileH <= 0 || h.TileW > h.W || h.TileH > h.H {
-				return nil, nil, fmt.Errorf("codestream: bad tile size %dx%d", h.TileW, h.TileH)
-			}
-			h.Depth = int(p[36]) + 1
-			if h.Depth < 1 || h.Depth > 16 {
-				return nil, nil, fmt.Errorf("codestream: unsupported depth %d", h.Depth)
-			}
-			if err := lim.checkSIZ(h); err != nil {
+			if err := parseSIZ(p, h, lim); err != nil {
 				return nil, nil, err
 			}
 			seenSIZ = true
@@ -243,32 +226,7 @@ func DecodeTilesLimits(data []byte, lim Limits) (*Header, [][]byte, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			if len(p) < 10 {
-				return nil, nil, fmt.Errorf("codestream: COD too short")
-			}
-			h.SOPMarkers = p[0]&0x02 != 0
-			h.Progression = int(p[1])
-			if h.Progression > 1 {
-				return nil, nil, fmt.Errorf("codestream: unsupported progression order %d", h.Progression)
-			}
-			h.Layers = int(binary.BigEndian.Uint16(p[2:]))
-			if h.Layers < 1 || h.Layers > 1024 {
-				return nil, nil, fmt.Errorf("codestream: implausible layer count %d", h.Layers)
-			}
-			h.UseMCT = p[4] == 1
-			h.Levels = int(p[5])
-			if h.Levels > 32 {
-				return nil, nil, fmt.Errorf("codestream: %d decomposition levels out of range", h.Levels)
-			}
-			if p[6] > 10 || p[7] > 10 {
-				return nil, nil, fmt.Errorf("codestream: code block exponent out of range")
-			}
-			h.CBW = 1 << (int(p[6]) + 2)
-			h.CBH = 1 << (int(p[7]) + 2)
-			h.TermAll = p[8]&0x04 != 0
-			h.HT = p[8]&0x40 != 0
-			h.Lossless = p[9] == 1
-			if err := lim.checkCOD(h); err != nil {
+			if err := parseCOD(p, h, lim); err != nil {
 				return nil, nil, err
 			}
 			seenCOD = true
@@ -280,17 +238,8 @@ func DecodeTilesLimits(data []byte, lim Limits) (*Header, [][]byte, error) {
 			if !seenSIZ || !seenCOD {
 				return nil, nil, fmt.Errorf("codestream: QCD before SIZ/COD")
 			}
-			nb := 3*h.Levels + 1
-			if len(p) < 9+h.NComp*nb {
-				return nil, nil, fmt.Errorf("codestream: QCD too short")
-			}
-			h.BaseDelta = math.Float64frombits(binary.BigEndian.Uint64(p[1:]))
-			h.Mb = make([][]int, h.NComp)
-			for c := 0; c < h.NComp; c++ {
-				h.Mb[c] = make([]int, nb)
-				for b := 0; b < nb; b++ {
-					h.Mb[c][b] = int(p[9+c*nb+b])
-				}
+			if err := parseQCD(p, h); err != nil {
+				return nil, nil, err
 			}
 			seenQCD = true
 		case SOT:
@@ -323,6 +272,81 @@ func DecodeTilesLimits(data []byte, lim Limits) (*Header, [][]byte, error) {
 			return nil, nil, fmt.Errorf("codestream: unexpected marker %#x", m)
 		}
 	}
+}
+
+// parseSIZ validates and loads the geometry fields of a SIZ payload.
+func parseSIZ(p []byte, h *Header, lim Limits) error {
+	if len(p) < 38 {
+		return fmt.Errorf("codestream: SIZ too short")
+	}
+	h.W = int(binary.BigEndian.Uint32(p[2:]))
+	h.H = int(binary.BigEndian.Uint32(p[6:]))
+	h.NComp = int(binary.BigEndian.Uint16(p[34:]))
+	if h.NComp <= 0 || len(p) < 36+3*h.NComp {
+		return fmt.Errorf("codestream: bad SIZ component count")
+	}
+	if h.W <= 0 || h.H <= 0 || h.W > 1<<26 || h.H > 1<<26 {
+		return fmt.Errorf("codestream: implausible image size %dx%d", h.W, h.H)
+	}
+	h.TileW = int(binary.BigEndian.Uint32(p[18:]))
+	h.TileH = int(binary.BigEndian.Uint32(p[22:]))
+	if h.TileW <= 0 || h.TileH <= 0 || h.TileW > h.W || h.TileH > h.H {
+		return fmt.Errorf("codestream: bad tile size %dx%d", h.TileW, h.TileH)
+	}
+	h.Depth = int(p[36]) + 1
+	if h.Depth < 1 || h.Depth > 16 {
+		return fmt.Errorf("codestream: unsupported depth %d", h.Depth)
+	}
+	return lim.checkSIZ(h)
+}
+
+// parseCOD validates and loads the coding-style fields of a COD payload.
+func parseCOD(p []byte, h *Header, lim Limits) error {
+	if len(p) < 10 {
+		return fmt.Errorf("codestream: COD too short")
+	}
+	h.SOPMarkers = p[0]&0x02 != 0
+	h.Progression = int(p[1])
+	if h.Progression > 1 {
+		return fmt.Errorf("codestream: unsupported progression order %d", h.Progression)
+	}
+	h.Layers = int(binary.BigEndian.Uint16(p[2:]))
+	if h.Layers < 1 || h.Layers > 1024 {
+		return fmt.Errorf("codestream: implausible layer count %d", h.Layers)
+	}
+	h.UseMCT = p[4] == 1
+	h.Levels = int(p[5])
+	if h.Levels > 32 {
+		return fmt.Errorf("codestream: %d decomposition levels out of range", h.Levels)
+	}
+	if p[6] > 10 || p[7] > 10 {
+		return fmt.Errorf("codestream: code block exponent out of range")
+	}
+	h.CBW = 1 << (int(p[6]) + 2)
+	h.CBH = 1 << (int(p[7]) + 2)
+	h.TermAll = p[8]&0x04 != 0
+	h.SegSym = p[8]&0x20 != 0
+	h.HT = p[8]&0x40 != 0
+	h.Lossless = p[9] == 1
+	return lim.checkCOD(h)
+}
+
+// parseQCD validates and loads the quantization fields of a QCD
+// payload (requires SIZ and COD already parsed for the table shape).
+func parseQCD(p []byte, h *Header) error {
+	nb := 3*h.Levels + 1
+	if len(p) < 9+h.NComp*nb {
+		return fmt.Errorf("codestream: QCD too short")
+	}
+	h.BaseDelta = math.Float64frombits(binary.BigEndian.Uint64(p[1:]))
+	h.Mb = make([][]int, h.NComp)
+	for c := 0; c < h.NComp; c++ {
+		h.Mb[c] = make([]int, nb)
+		for b := 0; b < nb; b++ {
+			h.Mb[c][b] = int(p[9+c*nb+b])
+		}
+	}
+	return nil
 }
 
 type reader struct {

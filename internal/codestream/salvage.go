@@ -1,0 +1,194 @@
+package codestream
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SalvageInfo records what the tolerant tile-part parser had to do to
+// recover bodies from a damaged codestream.
+type SalvageInfo struct {
+	Tiles     int   // tiles in the grid the main header declares
+	Resyncs   int   // SOT resyncs performed after framing damage
+	Truncated bool  // the stream ended inside a tile-part or before EOC
+	BodyBytes int64 // total salvaged packet-body bytes
+}
+
+// GridTiles returns the tile count implied by the header's SIZ grid.
+func GridTiles(h *Header) int {
+	if h.TileW <= 0 || h.TileH <= 0 {
+		return 1
+	}
+	return ((h.W + h.TileW - 1) / h.TileW) * ((h.H + h.TileH - 1) / h.TileH)
+}
+
+// DecodeTilesSalvage is the best-effort counterpart of
+// DecodeTilesLimits. The main header (SOC/SIZ/COD/QCD) is still parsed
+// strictly — without it there is no geometry to decode into — but the
+// tile-part framing is forgiving: unknown-but-well-formed marker
+// segments are skipped, a damaged SOT/SOD wrapper triggers a forward
+// scan for the next plausible SOT, truncated tile-parts are clamped to
+// the bytes present, and a missing EOC ends the stream instead of
+// failing it. Bodies are returned indexed by Isot over the full SIZ
+// tile grid; a nil body means that tile never arrived. The error is
+// non-nil only when the main header itself is unusable.
+func DecodeTilesSalvage(data []byte, lim Limits) (*Header, [][]byte, *SalvageInfo, error) {
+	rd := &reader{data: data}
+	if m, err := rd.marker(); err != nil || m != SOC {
+		return nil, nil, nil, fmt.Errorf("codestream: missing SOC (got %#x, err %v)", m, err)
+	}
+	h := &Header{}
+	seenSIZ, seenCOD, seenQCD := false, false, false
+
+	// Main header: strict until the first SOT (or EOC), except that
+	// well-formed marker segments we do not understand are skipped —
+	// resilience must not fail on a stream that merely carries an
+	// optional segment the strict parser would reject.
+	for !seenSIZ || !seenCOD || !seenQCD {
+		m, err := rd.marker()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch m {
+		case SIZ:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if err := parseSIZ(p, h, lim); err != nil {
+				return nil, nil, nil, err
+			}
+			seenSIZ = true
+		case COD:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if err := parseCOD(p, h, lim); err != nil {
+				return nil, nil, nil, err
+			}
+			seenCOD = true
+		case QCD:
+			p, err := rd.segment()
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if !seenSIZ || !seenCOD {
+				return nil, nil, nil, fmt.Errorf("codestream: QCD before SIZ/COD")
+			}
+			if err := parseQCD(p, h); err != nil {
+				return nil, nil, nil, err
+			}
+			seenQCD = true
+		case SOT, EOC:
+			return nil, nil, nil, fmt.Errorf("codestream: tile data before complete main header")
+		default:
+			if _, err := rd.segment(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+
+	ntiles := GridTiles(h)
+	info := &SalvageInfo{Tiles: ntiles}
+	bodies := make([][]byte, ntiles)
+
+	sawEOC := false
+	for !sawEOC && rd.pos < len(data) {
+		at := rd.pos
+		m, err := rd.marker()
+		ok := err == nil
+		switch {
+		case ok && m == EOC:
+			sawEOC = true
+		case ok && m == SOT:
+			p, serr := rd.segment()
+			if serr != nil || len(p) < 8 {
+				ok = false
+				break
+			}
+			isot := int(binary.BigEndian.Uint16(p[0:]))
+			psot := int(binary.BigEndian.Uint32(p[2:]))
+			if isot >= ntiles {
+				ok = false
+				break
+			}
+			if m, merr := rd.marker(); merr != nil || m != SOD {
+				ok = false
+				break
+			}
+			bodyLen := psot - 12 - 2
+			if bodyLen < 0 {
+				ok = false
+				break
+			}
+			if rd.pos+bodyLen > len(data) {
+				bodyLen = len(data) - rd.pos
+				info.Truncated = true
+			}
+			if bodies[isot] == nil {
+				bodies[isot] = data[rd.pos : rd.pos+bodyLen]
+				info.BodyBytes += int64(bodyLen)
+			}
+			rd.pos += bodyLen
+		default:
+			// A marker segment we don't know: skip it if well formed,
+			// otherwise fall through to resync.
+			if ok {
+				if _, serr := rd.segment(); serr != nil {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			// Resync: scan forward from just past the failure point for
+			// the next plausible SOT (Lsot == 10 and an in-range Isot) or
+			// the EOC trailer, whichever comes first.
+			next := findSOT(data, at+1, ntiles)
+			if next < 0 {
+				info.Truncated = true
+				break
+			}
+			rd.pos = next
+			info.Resyncs++
+		}
+	}
+	if !sawEOC && !info.Truncated {
+		info.Truncated = true
+	}
+	return h, bodies, info, nil
+}
+
+// findSOT scans for the next byte position carrying a plausible SOT
+// marker segment: FF 90, Lsot == 10, Isot inside the tile grid — or an
+// EOC trailer at the very end of the stream. Validating the fixed Lsot
+// and the Isot range keeps a stray FF 90 inside packet-body bytes from
+// hijacking the resync (the two following length bytes would have to
+// read 00 0A and the tile index would have to be in range as well).
+func findSOT(data []byte, from int, ntiles int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i+2 <= len(data); i++ {
+		if data[i] != 0xFF {
+			continue
+		}
+		if data[i+1] == 0xD9 && i+2 == len(data) {
+			return i // EOC trailer
+		}
+		if data[i+1] != 0x90 {
+			continue
+		}
+		if i+6 > len(data) {
+			continue
+		}
+		if data[i+2] != 0x00 || data[i+3] != 0x0A {
+			continue
+		}
+		if isot := int(data[i+4])<<8 | int(data[i+5]); isot >= ntiles {
+			continue
+		}
+		return i
+	}
+	return -1
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"j2kcell/internal/simd"
 	"j2kcell/internal/workload"
@@ -371,6 +372,56 @@ func TestBandGainsSane(t *testing.T) {
 	hl := BandGain(W97, 1, HL, 1)
 	if hl < 0.8 || hl > 1.3 {
 		t.Errorf("HL1 9/7 gain %v outside sanity range", hl)
+	}
+}
+
+// TestGainsSeparableMatchesPlane pins the deep-table fallback: the
+// separable 1-D construction must reproduce the plane measurement
+// (they compute the same norms; only roundoff may differ).
+func TestGainsSeparableMatchesPlane(t *testing.T) {
+	for _, f := range []Filter{W53, W97} {
+		for _, lv := range []int{1, 3, 5} {
+			plane := computeGains2D(f, lv)
+			sep := computeGainsSep(f, lv)
+			for _, o := range []Orient{LL, HL, LH, HH} {
+				for l := 0; l <= lv; l++ {
+					a, b := plane[o][l], sep[o][l]
+					if a == 0 && b == 0 {
+						continue
+					}
+					if math.Abs(a-b) > 1e-9*math.Abs(a) {
+						t.Errorf("filter %d lv %d band %v/%d: plane %v vs separable %v", f, lv, o, l, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeepGainTablesAreCheap pins the robustness property that made the
+// fallback necessary: a hostile COD segment may claim up to 32
+// decomposition levels, and building that table must stay millisecond-
+// scale and finite (the plane measurement would need a multi-gigabyte
+// allocation by level 10).
+func TestDeepGainTablesAreCheap(t *testing.T) {
+	start := time.Now()
+	for _, f := range []Filter{W53, W97} {
+		for _, lv := range []int{7, 10, 20, 32} {
+			for l := 1; l <= lv; l++ {
+				for _, o := range []Orient{HL, LH, HH} {
+					g := BandGain(f, lv, o, l)
+					if !(g > 0) || math.IsInf(g, 0) {
+						t.Fatalf("filter %d lv %d band %v/%d: bad gain %v", f, lv, o, l, g)
+					}
+				}
+			}
+			if g := BandGain(f, lv, LL, lv); !(g > 0) || math.IsInf(g, 0) {
+				t.Fatalf("filter %d lv %d LL: bad gain %v", f, lv, g)
+			}
+		}
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("deep gain tables took %v — fallback not engaged", el)
 	}
 }
 

@@ -76,9 +76,81 @@ func bandGainObs(f Filter, levels int, o Orient, level int, rec *obs.Recorder) f
 	return g[o][level]
 }
 
-// computeGains measures norms on a plane just large enough that the
-// deepest band still has an interior coefficient.
+// Measurement strategy bounds. The plane measurement costs O(4^levels)
+// time and memory — gigabytes past level 9, while the COD field admits
+// up to 32 — so deep tables switch to the separable construction: the
+// 2-D synthesis basis of one coefficient is the outer product of two
+// 1-D bases, its L2 norm the product of two 1-D norms, each measurable
+// on a single line in O(2^level). Past gain1DLevels even the line is
+// too long; the per-level growth ratio has converged by then, so the
+// tail extrapolates geometrically. Only hostile or foreign streams
+// carry that many levels.
+const (
+	gain2DLevels = 6  // plane measurement: bit-identical to the original tables
+	gain1DLevels = 16 // direct line measurement; geometric extrapolation beyond
+)
+
 func computeGains(f Filter, levels int) map[Orient][]float64 {
+	if levels <= gain2DLevels {
+		return computeGains2D(f, levels)
+	}
+	return computeGainsSep(f, levels)
+}
+
+// computeGainsSep builds the table from separable 1-D synthesis norms:
+// gain(HL,l) = gH(l)·gL(l), gain(HH,l) = gH(l)², gain(LL) = gL(levels)².
+func computeGainsSep(f Filter, levels int) map[Orient][]float64 {
+	out := map[Orient][]float64{
+		LL: make([]float64, levels+1),
+		HL: make([]float64, levels+1),
+		LH: make([]float64, levels+1),
+		HH: make([]float64, levels+1),
+	}
+	ml := levels
+	if ml > gain1DLevels {
+		ml = gain1DLevels
+	}
+	data := make([]float64, 32<<uint(ml))
+	lineNorm := func(buf []float64, pos, lv int) float64 {
+		for i := range buf {
+			buf[i] = 0
+		}
+		buf[pos] = 1
+		inverseLinear(f, buf, len(buf), 1, len(buf), lv)
+		var ss float64
+		for _, v := range buf {
+			ss += v * v
+		}
+		return math.Sqrt(ss)
+	}
+	gL := make([]float64, levels+1)
+	gH := make([]float64, levels+1)
+	gL[0] = 1
+	for l := 1; l <= ml; l++ {
+		// A level-l basis needs only a 32<<l line: after l inverse
+		// steps its low band is [0,32) and high band [32,64), and the
+		// ~8·2^l-sample support sits interior with the same margin the
+		// plane measurement gives its deepest band.
+		buf := data[:32<<uint(l)]
+		gL[l] = lineNorm(buf, 16, l)
+		gH[l] = lineNorm(buf, 48, l)
+	}
+	for l := ml + 1; l <= levels; l++ {
+		gL[l] = gL[l-1] * (gL[ml] / gL[ml-1])
+		gH[l] = gH[l-1] * (gH[ml] / gH[ml-1])
+	}
+	for l := 1; l <= levels; l++ {
+		out[HL][l] = gH[l] * gL[l]
+		out[LH][l] = gL[l] * gH[l]
+		out[HH][l] = gH[l] * gH[l]
+	}
+	out[LL][levels] = gL[levels] * gL[levels]
+	return out
+}
+
+// computeGains2D measures norms on a plane just large enough that the
+// deepest band still has an interior coefficient.
+func computeGains2D(f Filter, levels int) map[Orient][]float64 {
 	n := 32 << levels
 	out := map[Orient][]float64{
 		LL: make([]float64, levels+1),

@@ -111,6 +111,8 @@ const (
 	CtrSchedSelfClaims               // shared-scheduler jobs claimed by the operation's own goroutine
 	CtrSchedPoolClaims               // shared-scheduler jobs claimed by pool workers (cross-lane capacity)
 	CtrSchedAdmitWaits               // operations that waited in the scheduler admission queue
+	CtrResyncs                       // SOP/SOT resyncs performed by best-effort decodes
+	CtrConcealedBlocks               // code blocks concealed as zeros by best-effort decodes
 	numCounters
 )
 
@@ -127,6 +129,7 @@ var counterNames = [numCounters]string{
 	"decode_t1_partitions", "decode_t1_singletons",
 	"ht_blocks", "ht_bytes",
 	"sched_self_claims", "sched_pool_claims", "sched_admit_waits",
+	"resync", "concealed_blocks",
 }
 
 // KernelCounter maps a simd kernel-set name ("scalar", "sse2", "avx2")

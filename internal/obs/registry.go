@@ -20,10 +20,11 @@ const (
 	clsLossy
 	clsTiled
 	clsHT
+	clsResilient // best-effort decode path (damage-tolerant, reports instead of failing)
 )
 
 // NumOpClasses is the size of the class space.
-const NumOpClasses = 16
+const NumOpClasses = 32
 
 // ClassOf returns the operation class for the given axes.
 func ClassOf(decode, lossy, tiled, ht bool) OpClass {
@@ -42,6 +43,11 @@ func ClassOf(decode, lossy, tiled, ht bool) OpClass {
 	}
 	return c
 }
+
+// Resilient marks the class as a best-effort (resilient) decode — its
+// own SLO family, since salvage work prices differently from a clean
+// decode and its latency objective is stated separately.
+func (c OpClass) Resilient() OpClass { return c | clsResilient }
 
 func (c OpClass) String() string {
 	s := "encode"
@@ -62,6 +68,9 @@ func (c OpClass) String() string {
 		s += "_ht"
 	} else {
 		s += "_mq"
+	}
+	if c&clsResilient != 0 {
+		s += "_resilient"
 	}
 	return s
 }

@@ -49,16 +49,16 @@ func DecodeObs(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Ori
 	defer putInt8(lp)
 	d := &decoder{coder: c, lastPlane: *lp}
 
-	if mode == ModeTermAll && len(segLens) < numPasses {
+	if mode.Base() == ModeTermAll && len(segLens) < numPasses {
 		return fmt.Errorf("t1: %d passes but only %d segment lengths", numPasses, len(segLens))
 	}
-	if mode == ModeSingle {
+	if mode.Base() == ModeSingle {
 		d.mq = mq.NewDecoder(data)
 	}
 
 	pass, off := 0, 0
 	nextSeg := func() {
-		if mode != ModeTermAll {
+		if mode.Base() != ModeTermAll {
 			return
 		}
 		n := segLens[pass]
@@ -85,6 +85,16 @@ func DecodeObs(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Ori
 		if pass < numPasses {
 			nextSeg()
 			d.clnPass(p)
+			if mode.SegSym() {
+				// The encoder closed this cleanup pass with the 1010
+				// sentinel in the UNIFORM context; anything else means the
+				// MQ decoder lost sync inside a damaged segment.
+				got := d.decodeBit(ctxUNI)<<3 | d.decodeBit(ctxUNI)<<2 |
+					d.decodeBit(ctxUNI)<<1 | d.decodeBit(ctxUNI)
+				if got != 0b1010 {
+					return fmt.Errorf("t1: segmentation symbol mismatch at plane %d: got %04b", p, got)
+				}
+			}
 			pass++
 		}
 	}

@@ -112,7 +112,7 @@ func EncodeObs(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Ori
 		}
 		e.runPass(blk, PassCln, p)
 	}
-	if mode == ModeSingle {
+	if mode.Base() == ModeSingle {
 		e.out = append(e.out, e.mq.Flush()...)
 		for i := range blk.Passes {
 			blk.Passes[i].CumLen = len(e.out) // only the whole thing is decodable
@@ -151,10 +151,16 @@ func (e *encoder) runPass(blk *Block, t PassType, plane int) {
 		e.refPass(plane)
 	case PassCln:
 		e.clnPass(plane)
+		if e.mode.SegSym() {
+			// Segmentation symbol: 1010 in the UNIFORM context closes
+			// every cleanup pass so the decoder can detect MQ
+			// desynchronization caused by damage earlier in the segment.
+			e.ops = append(e.ops, ctxUNI<<1|1, ctxUNI<<1|0, ctxUNI<<1|1, ctxUNI<<1|0)
+		}
 	}
 	e.mq.EncodeBatch(e.ops, e.cx[:])
 	ps := Pass{Type: t, Plane: plane, DistDelta: e.distDelta, Scanned: e.scanned, Coded: len(e.ops)}
-	if e.mode == ModeTermAll {
+	if e.mode.Base() == ModeTermAll {
 		seg := e.mq.Flush()
 		e.out = append(e.out, seg...)
 		ps.SegLen = len(seg)

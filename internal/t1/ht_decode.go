@@ -143,6 +143,12 @@ func decodeHT(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Orie
 			left = int8(rho)
 		}
 	}
+	// Trailer consistency: an intact cleanup segment's declared stream
+	// lengths cover every bit the quad scan just consumed, so any
+	// overrun means the trailer lies about the segment layout.
+	if ms.overrun || mel.r.overrun || vlc.overrun {
+		return fmt.Errorf("t1: HT cleanup streams shorter than the coding process requires")
+	}
 
 	if numPasses >= 2 {
 		if pCup != 1 {
@@ -173,6 +179,9 @@ func decodeHT(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Orie
 				mi++
 			}
 		}
+		if r.overrun {
+			return fmt.Errorf("t1: HT SigProp segment shorter than its membership requires")
+		}
 	}
 	if numPasses >= 3 {
 		// MagRef: raw LSB for every cleanup-significant sample (SigProp
@@ -184,6 +193,9 @@ func decodeHT(rec *obs.Recorder, coef []int32, w, h, stride int, orient dwt.Orie
 				mag[i] |= r.get(1)
 				lp[i] = 0
 			}
+		}
+		if r.overrun {
+			return fmt.Errorf("t1: HT MagRef segment shorter than its membership requires")
 		}
 	}
 

@@ -83,19 +83,24 @@ func (w *htWriter) flush() {
 
 // htReader mirrors htWriter bit for bit. Reads past the end of the
 // stream return zero bits, so a truncated or corrupt pass degrades
-// into zeros instead of panicking; structural damage is caught by the
-// quad-level consistency checks in ht_decode.go.
+// into zeros instead of panicking; the overrun flag records that it
+// happened, because an intact stream never needs a byte beyond its
+// declared length (htWriter.flush emits every pending payload bit).
+// Structural damage is caught by the quad-level consistency checks in
+// ht_decode.go, which also inspect overrun.
 type htReader struct {
-	data []byte
-	pos  int
-	acc  uint64
-	n    uint
-	last byte
+	data    []byte
+	pos     int
+	acc     uint64
+	n       uint
+	last    byte
+	overrun bool // a needed byte lay past the end of the stream
 }
 
 func (r *htReader) init(data []byte) {
 	r.data, r.pos = data, 0
 	r.acc, r.n, r.last = 0, 0, 0
+	r.overrun = false
 }
 
 // get reads nb bits (nb <= 32).
@@ -105,6 +110,8 @@ func (r *htReader) get(nb uint) uint32 {
 		if r.pos < len(r.data) {
 			b = r.data[r.pos]
 			r.pos++
+		} else {
+			r.overrun = true
 		}
 		if r.last == 0xFF {
 			r.acc |= uint64(b&0x7F) << r.n

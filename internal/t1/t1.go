@@ -55,9 +55,27 @@ const (
 	ModeHTRefine
 )
 
+// segSymFlag is OR-ed into a Mode to enable segmentation symbols: the
+// encoder codes the four-symbol 1010 sentinel in the UNIFORM context at
+// the end of every cleanup pass (T.800 D.5, the SEGSYM coding style),
+// and the decoder verifies it — turning silent MQ desynchronization
+// inside a damaged segment into a detected error. Orthogonal to the
+// base termination style, so it composes with ModeSingle and
+// ModeTermAll without new enum values.
+const segSymFlag Mode = 1 << 8
+
+// WithSegSym returns the mode with segmentation symbols enabled.
+func (m Mode) WithSegSym() Mode { return m | segSymFlag }
+
+// SegSym reports whether segmentation symbols are coded.
+func (m Mode) SegSym() bool { return m&segSymFlag != 0 }
+
+// Base strips option flags, leaving the termination-style enum value.
+func (m Mode) Base() Mode { return m &^ segSymFlag }
+
 // IsHT reports whether the mode selects the HT (Part 15) block coder
 // rather than the MQ coder.
-func (m Mode) IsHT() bool { return m == ModeHT || m == ModeHTRefine }
+func (m Mode) IsHT() bool { b := m.Base(); return b == ModeHT || b == ModeHTRefine }
 
 // PassType identifies one of the three coding passes.
 type PassType int

@@ -149,6 +149,37 @@ func DecodeWithContext(ctx context.Context, data []byte, opt DecodeOptions) (*Im
 	return codec.DecodeWithContext(ctx, data, opt)
 }
 
+// DamageReport is the structured outcome of a best-effort decode: what
+// was lost (per tile and per code block, with worst-case affected
+// regions), how many resyncs recovery needed, and how much of the
+// payload was salvaged.
+type DamageReport = codec.DamageReport
+
+// TileDamage is one damaged tile's loss map within a DamageReport.
+type TileDamage = codec.TileDamage
+
+// BlockLoss identifies one concealed code block within a TileDamage.
+type BlockLoss = codec.BlockLoss
+
+// DecodeResilient decodes a possibly damaged codestream as far as
+// possible: detection failures, parse errors, contained faults and
+// truncation each discard only the affected code block, packet or
+// tile-part (concealed as zero coefficients), resynchronizing on SOP
+// and SOT markers. It is total — any input yields an image and a
+// report, never an error or panic. Streams encoded with
+// Options.Resilience carry the markers and per-pass protection that
+// make damage detectable and containment fine-grained.
+func DecodeResilient(data []byte, opt DecodeOptions) (*Image, *DamageReport) {
+	return codec.DecodeResilient(data, opt)
+}
+
+// DecodeResilientContext is DecodeResilient bound to a context; err is
+// non-nil only for cancellation or admission rejection, never for
+// stream damage.
+func DecodeResilientContext(ctx context.Context, data []byte, opt DecodeOptions) (*Image, *DamageReport, error) {
+	return codec.DecodeResilientContext(ctx, data, opt)
+}
+
 // DecodeParallel decodes with the full inverse chain — Tier-1 block
 // decoding in partitions sized from each block's coded length,
 // dequantization, the multi-level inverse DWT, and the inverse
